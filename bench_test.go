@@ -1,0 +1,332 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure
+// series, plus the ablation benches listed in DESIGN.md §5. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The Fig. 6–8 benches measure the same code paths as the tables printed
+// by cmd/experiments; the Fig. 5 benches measure the full effectiveness
+// pipeline (clustering + discovery + baselines) on one synthetic day.
+package gatherings_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/crowd"
+	"repro/internal/dbscan"
+	"repro/internal/experiments"
+	"repro/internal/gathering"
+	"repro/internal/gen"
+	"repro/internal/geo"
+	"repro/internal/incremental"
+	"repro/internal/patterns"
+	"repro/internal/snapshot"
+	"repro/internal/trajectory"
+)
+
+// benchScale keeps full-suite bench time reasonable while preserving the
+// workload structure.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Taxis: 300, TicksPerDay: 144, Fig7Crowds: 10, Fig8Crowds: 10, Seed: 1}
+}
+
+var (
+	benchOnce sync.Once
+	benchDB   *trajectory.DB
+	benchCDB  *snapshot.CDB
+	denseCDB  *snapshot.CDB
+)
+
+func benchSetup() {
+	benchOnce.Do(func() {
+		sc := benchScale()
+		benchDB = experiments.Workload(sc, gen.Clear)
+		benchCDB = snapshot.Build(benchDB, snapshot.Options{
+			DBSCAN: dbscan.Params{Eps: 200, MinPts: 5},
+		})
+		// The Fig. 6 benches need clusters of hundreds of points (the
+		// paper's 30,000-taxi regime) or the exact-Hausdorff refinement
+		// the R-tree schemes pay never dominates.
+		g := gen.Default()
+		g.NumTaxis = 1500
+		g.TicksPerDay = 96
+		g.JamCommitted = 120
+		g.JamChurn = 60
+		g.DropGoVisitors = 100
+		g.PlatoonSize = 40
+		denseCDB = snapshot.Build(gen.Generate(g), snapshot.Options{
+			DBSCAN: dbscan.Params{Eps: 200, MinPts: 5},
+		})
+	})
+}
+
+func benchCrowdParams() crowd.Params {
+	return crowd.Params{MC: 10, KC: 10, Delta: 300}
+}
+
+func benchGatherParams() gathering.Params {
+	return gathering.Params{KC: 10, KP: 8, MP: 8}
+}
+
+// ---- Fig. 5: effectiveness pipeline ---------------------------------------
+
+func BenchmarkFig5aPatternCountsByTime(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := discoverAll(b, benchCDB)
+		_ = res
+		_ = patterns.Swarms(benchCDB, patterns.SwarmParams{MinO: 6, MinT: 8})
+		_ = patterns.Convoys(benchCDB, patterns.ConvoyParams{M: 6, K: 8})
+	}
+}
+
+func BenchmarkFig5bSnowyDay(b *testing.B) {
+	sc := benchScale()
+	db := experiments.Workload(sc, gen.Snowy)
+	cdb := snapshot.Build(db, snapshot.Options{DBSCAN: dbscan.Params{Eps: 200, MinPts: 5}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = discoverAll(b, cdb)
+	}
+}
+
+func discoverAll(b *testing.B, cdb *snapshot.CDB) []*gathering.Gathering {
+	b.Helper()
+	p := benchCrowdParams()
+	res := crowd.Discover(cdb, p, &crowd.GridSearcher{Delta: p.Delta})
+	var out []*gathering.Gathering
+	for _, cr := range res.Crowds {
+		out = append(out, gathering.TADStar(cr, benchGatherParams())...)
+	}
+	return out
+}
+
+// ---- Fig. 6: crowd discovery per scheme ------------------------------------
+
+func BenchmarkFig6CrowdDiscoverySR(b *testing.B)   { benchCrowd(b, "sr") }
+func BenchmarkFig6CrowdDiscoveryIR(b *testing.B)   { benchCrowd(b, "ir") }
+func BenchmarkFig6CrowdDiscoveryGRID(b *testing.B) { benchCrowd(b, "grid") }
+
+func benchCrowd(b *testing.B, scheme string) {
+	benchSetup()
+	p := benchCrowdParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := crowd.NewSearcher(scheme, p.Delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		crowd.Discover(denseCDB, p, s)
+	}
+}
+
+// ---- Fig. 7: gathering detection per detector -------------------------------
+
+func fig7Crowds() []*crowd.Crowd {
+	r := rand.New(rand.NewSource(11))
+	out := make([]*crowd.Crowd, 20)
+	for i := range out {
+		out[i] = experiments.SyntheticCrowd(r, 35, 16, 6, 0.85, 16)
+	}
+	return out
+}
+
+func BenchmarkFig7GatheringBruteForce(b *testing.B) {
+	benchGather(b, func(cr *crowd.Crowd, p gathering.Params) { gathering.BruteForce(cr, p) })
+}
+
+func BenchmarkFig7GatheringTAD(b *testing.B) {
+	benchGather(b, func(cr *crowd.Crowd, p gathering.Params) { gathering.TAD(cr, p) })
+}
+
+func BenchmarkFig7GatheringTADStar(b *testing.B) {
+	benchGather(b, func(cr *crowd.Crowd, p gathering.Params) { gathering.TADStar(cr, p) })
+}
+
+func benchGather(b *testing.B, run func(*crowd.Crowd, gathering.Params)) {
+	crowds := fig7Crowds()
+	p := gathering.Params{KC: 10, KP: 14, MP: 11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(crowds[i%len(crowds)], p)
+	}
+}
+
+// ---- Fig. 8: incremental vs recomputation -----------------------------------
+
+func BenchmarkFig8aRecompute(b *testing.B) {
+	benchSetup()
+	p := benchCrowdParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		crowd.Discover(benchCDB, p, &crowd.GridSearcher{Delta: p.Delta})
+	}
+}
+
+func BenchmarkFig8aExtendOneDay(b *testing.B) {
+	benchSetup()
+	p := benchCrowdParams()
+	gp := benchGatherParams()
+	half := benchCDB.Domain.N / 2
+	first := benchCDB.Slice(0, half)
+	second := benchCDB.Slice(trajectory.Tick(half), benchCDB.Domain.N-half)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store, err := incremental.New(p, gp, func() crowd.Searcher {
+			return &crowd.GridSearcher{Delta: p.Delta}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.Append(&snapshot.CDB{Domain: first.Domain, Clusters: first.Clusters})
+		b.StartTimer()
+		store.Append(&snapshot.CDB{Domain: second.Domain, Clusters: second.Clusters})
+	}
+}
+
+func fig8bCrowdsAndOld(oldLen int) ([]*crowd.Crowd, [][]*gathering.Gathering, gathering.Params) {
+	gp := gathering.Params{KC: 4, KP: 10, MP: 20}
+	r := rand.New(rand.NewSource(7))
+	crowds := make([]*crowd.Crowd, 10)
+	olds := make([][]*gathering.Gathering, len(crowds))
+	for i := range crowds {
+		crowds[i] = experiments.SyntheticCrowd(r, 240, 48, 2, 0.75, 6)
+		oldCrowd := &crowd.Crowd{Start: 0, Clusters: crowds[i].Clusters[:oldLen]}
+		olds[i] = gathering.TADStar(oldCrowd, gp)
+	}
+	return crowds, olds, gp
+}
+
+func BenchmarkFig8bRecompute(b *testing.B) {
+	crowds, _, gp := fig8bCrowdsAndOld(216)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gathering.TADStar(crowds[i%len(crowds)], gp)
+	}
+}
+
+func BenchmarkFig8bGatheringUpdate(b *testing.B) {
+	crowds, olds, gp := fig8bCrowdsAndOld(216)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(crowds)
+		gathering.NewDetector(crowds[k], gp).RunIncremental(216, olds[k])
+	}
+}
+
+// ---- ablations (DESIGN.md §5) ----------------------------------------------
+
+func BenchmarkPopcountWord(b *testing.B) {
+	v, m := randomBitvecPair(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.PopcountMasked(m)
+	}
+}
+
+func BenchmarkPopcountTree(b *testing.B) {
+	v, m := randomBitvecPair(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.PopcountMaskedTree(m)
+	}
+}
+
+func randomBitvecPair(n int) (bitvec.Vector, bitvec.Vector) {
+	r := rand.New(rand.NewSource(13))
+	v, m := bitvec.New(n), bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			v.Set(i)
+		}
+		if r.Intn(2) == 0 {
+			m.Set(i)
+		}
+	}
+	return v, m
+}
+
+func randomPointSets(n int) ([]geo.Point, []geo.Point) {
+	r := rand.New(rand.NewSource(17))
+	mk := func() []geo.Point {
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: r.NormFloat64() * 100, Y: r.NormFloat64() * 100}
+		}
+		return pts
+	}
+	return mk(), mk()
+}
+
+func BenchmarkHausdorffExact(b *testing.B) {
+	p, q := randomPointSets(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = geo.Hausdorff(p, q)
+	}
+}
+
+func BenchmarkHausdorffEarlyExitPredicate(b *testing.B) {
+	p, q := randomPointSets(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = geo.WithinHausdorff(p, q, 150)
+	}
+}
+
+func BenchmarkSnapshotClusteringSequential(b *testing.B) {
+	benchSetup()
+	opts := snapshot.Options{DBSCAN: dbscan.Params{Eps: 200, MinPts: 5}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snapshot.Build(benchDB, opts)
+	}
+}
+
+func BenchmarkSnapshotClusteringParallel(b *testing.B) {
+	benchSetup()
+	opts := snapshot.Options{DBSCAN: dbscan.Params{Eps: 200, MinPts: 5}, Parallelism: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snapshot.Build(benchDB, opts)
+	}
+}
+
+// BenchmarkRangeSearch* isolate one range search per scheme, removing
+// Algorithm 1's bookkeeping from the Fig. 6 comparison.
+func BenchmarkRangeSearchSR(b *testing.B)   { benchRangeSearch(b, "sr") }
+func BenchmarkRangeSearchIR(b *testing.B)   { benchRangeSearch(b, "ir") }
+func BenchmarkRangeSearchGRID(b *testing.B) { benchRangeSearch(b, "grid") }
+
+func benchRangeSearch(b *testing.B, scheme string) {
+	benchSetup()
+	// take the densest tick of the dense CDB and query every cluster of
+	// the previous tick against it
+	bestTick, best := 1, 0
+	for t := 1; t < len(denseCDB.Clusters); t++ {
+		n := 0
+		for _, c := range denseCDB.Clusters[t] {
+			n += c.Len()
+		}
+		if n > best {
+			best, bestTick = n, t
+		}
+	}
+	queries := denseCDB.Clusters[bestTick-1]
+	targets := denseCDB.Clusters[bestTick]
+	if len(queries) == 0 || len(targets) == 0 {
+		b.Skip("no clusters at densest tick")
+	}
+	s, err := crowd.NewSearcher(scheme, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Prepare(targets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Search(queries[i%len(queries)])
+	}
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper's evaluation tables (§IV) on
+// the synthetic taxi workload and prints them.
+//
+// Usage:
+//
+//	experiments [fig5|fig6|fig7|fig8|all] [-taxis 600] [-ticks 288]
+//	            [-crowds 40] [-seed 1]
+//
+// Every table corresponds to one figure of the paper; EXPERIMENTS.md in
+// the repository root records how each table's shape compares with the
+// published one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		taxis  = flag.Int("taxis", 600, "taxis in the synthetic workload")
+		ticks  = flag.Int("ticks", 288, "ticks per synthetic day")
+		crowds = flag.Int("crowds", 40, "crowds averaged per Fig 7/8b data point")
+		seed   = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [fig5|fig6|fig7|fig8|pruning|all] [flags]\n")
+		flag.PrintDefaults()
+	}
+	// Allow the subcommand before or after flags.
+	which := "all"
+	args := os.Args[1:]
+	if len(args) > 0 && args[0][0] != '-' {
+		which = args[0]
+		args = args[1:]
+	}
+	if err := flag.CommandLine.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	sc := experiments.DefaultScale()
+	sc.Taxis = *taxis
+	sc.TicksPerDay = *ticks
+	sc.Fig7Crowds = *crowds
+	sc.Fig8Crowds = *crowds
+	sc.Seed = *seed
+
+	var tables []experiments.Table
+	switch which {
+	case "fig5":
+		a, b := experiments.Fig5(sc)
+		tables = []experiments.Table{a, b}
+	case "fig6":
+		tables = experiments.Fig6(sc)
+	case "fig7":
+		tables = experiments.Fig7(sc)
+	case "fig8":
+		tables = experiments.Fig8(sc)
+	case "pruning":
+		tables = []experiments.Table{experiments.Pruning(sc)}
+	case "all":
+		tables = experiments.All(sc)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	for i := range tables {
+		tables[i].Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,133 @@
+// Command gatherfind runs the full gathering-discovery pipeline on a
+// trajectory CSV file ("id,time,x,y" rows) and prints the closed crowds
+// and closed gatherings found.
+//
+// Usage:
+//
+//	gatherfind -in traj.csv [-ticks 288] [-step 1]
+//	           [-eps 200] [-minpts 5]
+//	           [-mc 15] [-kc 20] [-delta 300] [-kp 15] [-mp 10]
+//	           [-searcher grid] [-parallel 0] [-v]
+//
+// The time domain is [start, start+ticks*step) where start is the earliest
+// sample time in the file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	gatherings "repro"
+	"repro/internal/geojson"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input trajectory CSV (required)")
+		ticks    = flag.Int("ticks", 288, "number of ticks in the analysis domain")
+		step     = flag.Float64("step", 1, "tick width in input time units")
+		eps      = flag.Float64("eps", 200, "DBSCAN epsilon (metres)")
+		minpts   = flag.Int("minpts", 5, "DBSCAN density threshold m")
+		mc       = flag.Int("mc", 15, "crowd support threshold mc")
+		kc       = flag.Int("kc", 20, "crowd lifetime threshold kc (ticks)")
+		delta    = flag.Float64("delta", 300, "variation threshold delta (metres)")
+		kp       = flag.Int("kp", 15, "participator lifetime threshold kp (ticks)")
+		mp       = flag.Int("mp", 10, "gathering support threshold mp")
+		searcher = flag.String("searcher", "grid", "range search scheme: brute, sr, ir or grid")
+		parallel = flag.Int("parallel", 0, "worker goroutines (0 = sequential)")
+		verbose  = flag.Bool("v", false, "print every crowd, not only gatherings")
+		stat     = flag.Bool("stats", false, "print summary statistics")
+		geoOut   = flag.String("geojson", "", "write crowds+gatherings as GeoJSON to this file")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	trajs, err := gatherings.ReadTrajectoriesCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(trajs) == 0 {
+		fatal(fmt.Errorf("no trajectories in %s", *in))
+	}
+
+	start := math.Inf(1)
+	for i := range trajs {
+		if s, _, ok := trajs[i].Lifespan(); ok && s < start {
+			start = s
+		}
+	}
+	db := &gatherings.DB{
+		Trajs:  trajs,
+		Domain: gatherings.TimeDomain{Start: start, Step: *step, N: *ticks},
+	}
+	if err := db.Validate(); err != nil {
+		fatal(err)
+	}
+
+	cfg := gatherings.DefaultConfig()
+	cfg.Eps, cfg.MinPts = *eps, *minpts
+	cfg.MC, cfg.KC, cfg.Delta = *mc, *kc, *delta
+	cfg.KP, cfg.MP = *kp, *mp
+	cfg.Searcher = *searcher
+	cfg.Parallelism = *parallel
+
+	res, err := gatherings.Discover(db, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("objects: %d  ticks: %d  snapshot clusters: %d\n",
+		db.NumObjects(), db.Domain.N, res.CDB.NumClusters())
+	fmt.Printf("closed crowds: %d  closed gatherings: %d\n",
+		len(res.Crowds), len(res.AllGatherings()))
+
+	for i, cr := range res.Crowds {
+		if *verbose || len(res.Gatherings[i]) > 0 {
+			fmt.Printf("\ncrowd %s lifetime=%d ticks\n", cr, cr.Lifetime())
+		}
+		for _, g := range res.Gatherings[i] {
+			c := g.Crowd.Clusters[0].MBR().Center()
+			fmt.Printf("  gathering ticks [%d,%d) around (%.0f, %.0f): %d participators %v\n",
+				int(cr.Start)+g.Lo, int(cr.Start)+g.Hi, c.X, c.Y,
+				len(g.Participators), g.Participators)
+		}
+	}
+
+	if *stat {
+		fmt.Println()
+		stats.Build(res.Crowds, res.Gatherings).Fprint(os.Stdout)
+		if top := stats.TopParticipants(res.Gatherings, 5); len(top) > 0 {
+			fmt.Printf("most frequent participators: %v\n", top)
+		}
+	}
+	if *geoOut != "" {
+		f, err := os.Create(*geoOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := geojson.Export(f, res.Crowds, res.Gatherings, nil); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote GeoJSON to %s\n", *geoOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gatherfind:", err)
+	os.Exit(1)
+}

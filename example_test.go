@@ -1,0 +1,116 @@
+package gatherings_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	gatherings "repro"
+)
+
+// plazaDB builds a deterministic scene: eight devoted objects loitering at
+// a plaza for 30 ticks plus six objects passing through.
+func plazaDB() *gatherings.DB {
+	r := rand.New(rand.NewSource(1))
+	db := &gatherings.DB{Domain: gatherings.TimeDomain{Start: 0, Step: 1, N: 30}}
+	id := gatherings.ObjectID(0)
+	for i := 0; i < 8; i++ {
+		tr := gatherings.Trajectory{ID: id}
+		id++
+		for t := 0; t < 30; t++ {
+			tr.Samples = append(tr.Samples, gatherings.Sample{
+				Time: float64(t),
+				P:    gatherings.Point{X: 100 + r.NormFloat64()*10, Y: 100 + r.NormFloat64()*10},
+			})
+		}
+		db.Trajs = append(db.Trajs, tr)
+	}
+	for i := 0; i < 6; i++ {
+		tr := gatherings.Trajectory{ID: id}
+		id++
+		for t := 0; t < 30; t++ {
+			tr.Samples = append(tr.Samples, gatherings.Sample{
+				Time: float64(t),
+				P:    gatherings.Point{X: float64(t) * 50, Y: 2000 + float64(i)*500},
+			})
+		}
+		db.Trajs = append(db.Trajs, tr)
+	}
+	return db
+}
+
+func exampleConfig() gatherings.Config {
+	cfg := gatherings.DefaultConfig()
+	cfg.Eps, cfg.MinPts = 60, 3
+	cfg.MC, cfg.KC, cfg.Delta = 5, 10, 100
+	cfg.KP, cfg.MP = 15, 5
+	return cfg
+}
+
+func ExampleDiscover() {
+	res, err := gatherings.Discover(plazaDB(), exampleConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("crowds:", len(res.Crowds))
+	for _, g := range res.AllGatherings() {
+		fmt.Printf("gathering of %d ticks with %d participators\n",
+			g.Lifetime(), len(g.Participators))
+	}
+	// Output:
+	// crowds: 1
+	// gathering of 30 ticks with 8 participators
+}
+
+func ExampleParticipators() {
+	res, err := gatherings.Discover(plazaDB(), exampleConfig())
+	if err != nil {
+		panic(err)
+	}
+	par := gatherings.Participators(res.Crowds[0], 15)
+	fmt.Println(par)
+	// Output:
+	// [0 1 2 3 4 5 6 7]
+}
+
+func ExampleStore() {
+	cfg := exampleConfig()
+	store, err := gatherings.NewStore(cfg)
+	if err != nil {
+		panic(err)
+	}
+	// Feed the plaza scene in two 15-tick batches.
+	cdb := gatherings.BuildCDB(plazaDB(), cfg)
+	for _, lo := range []int{0, 15} {
+		s := cdb.Slice(gatherings.Tick(lo), 15)
+		store.AppendCDB(&gatherings.CDB{Domain: s.Domain, Clusters: s.Clusters})
+	}
+	fmt.Println("ticks:", store.Ticks())
+	fmt.Println("gatherings:", len(store.AllGatherings()))
+	// Output:
+	// ticks: 30
+	// gatherings: 1
+}
+
+func ExampleStore_Save() {
+	cfg := exampleConfig()
+	store, err := gatherings.NewStore(cfg)
+	if err != nil {
+		panic(err)
+	}
+	store.Append(plazaDB())
+
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		panic(err)
+	}
+	restored, err := gatherings.LoadStore(&buf, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("restored ticks:", restored.Ticks())
+	fmt.Println("restored gatherings:", len(restored.AllGatherings()))
+	// Output:
+	// restored ticks: 30
+	// restored gatherings: 1
+}

@@ -1,0 +1,125 @@
+// Event detection and pattern comparison: the §I motivation of the paper.
+// A celebration (durable, stationary, churning membership with a committed
+// core) is injected alongside a travelling tour group. The example runs
+// gathering discovery AND the three baseline group patterns — swarm,
+// convoy, moving cluster — to show which concept detects what:
+//
+//   - the celebration is a gathering but not a swarm/convoy (its members
+//     churn, so no fixed object set travels together);
+//   - the tour group is a swarm and a convoy but not a gathering (it
+//     moves, so consecutive clusters drift apart in Hausdorff distance).
+//
+// Run with:
+//
+//	go run ./examples/eventdetection
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	gatherings "repro"
+	"repro/internal/patterns"
+)
+
+func main() {
+	const ticks = 40
+	r := rand.New(rand.NewSource(5))
+	db := &gatherings.DB{Domain: gatherings.TimeDomain{Start: 0, Step: 1, N: ticks}}
+	id := gatherings.ObjectID(0)
+
+	addSample := func(tr *gatherings.Trajectory, t int, x, y float64) {
+		tr.Samples = append(tr.Samples, gatherings.Sample{
+			Time: float64(t),
+			P:    gatherings.Point{X: x, Y: y},
+		})
+	}
+
+	// --- celebration at the square (500, 500) -----------------------------
+	// 10 organisers stay the whole time; 40 visitors come and go in waves
+	// of 10, each staying 8 ticks.
+	for i := 0; i < 10; i++ {
+		tr := gatherings.Trajectory{ID: id}
+		id++
+		for t := 0; t < ticks; t++ {
+			addSample(&tr, t, 500+r.NormFloat64()*30, 500+r.NormFloat64()*30)
+		}
+		db.Trajs = append(db.Trajs, tr)
+	}
+	for wave := 0; wave < 4; wave++ {
+		for i := 0; i < 10; i++ {
+			tr := gatherings.Trajectory{ID: id}
+			id++
+			arrive := wave * 8
+			for t := 0; t < ticks; t++ {
+				if t >= arrive && t < arrive+8 {
+					addSample(&tr, t, 500+r.NormFloat64()*30, 500+r.NormFloat64()*30)
+				} else {
+					// elsewhere in the city
+					addSample(&tr, t, 3000+r.NormFloat64()*400, 3000+float64(t)*50)
+				}
+			}
+			db.Trajs = append(db.Trajs, tr)
+		}
+	}
+
+	// --- tour group marching across town ---------------------------------
+	// 12 people walking together from (0, 2000) eastwards: coherent
+	// membership, moving location.
+	for i := 0; i < 12; i++ {
+		tr := gatherings.Trajectory{ID: id}
+		id++
+		for t := 0; t < ticks; t++ {
+			addSample(&tr, t, float64(t)*120+r.NormFloat64()*20, 2000+r.NormFloat64()*20)
+		}
+		db.Trajs = append(db.Trajs, tr)
+	}
+
+	cfg := gatherings.DefaultConfig()
+	cfg.Eps, cfg.MinPts = 120, 4
+	cfg.MC, cfg.KC, cfg.Delta = 10, 15, 150
+	cfg.KP, cfg.MP = 20, 8
+
+	res, err := gatherings.Discover(db, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gatherings found: %d\n", len(res.AllGatherings()))
+	for _, g := range res.AllGatherings() {
+		c := g.Crowd.Clusters[0].MBR().Center()
+		fmt.Printf("  gathering at (%.0f, %.0f) for %d ticks, %d committed organisers\n",
+			c.X, c.Y, g.Lifetime(), len(g.Participators))
+	}
+
+	// Baselines on the same snapshot clusters.
+	sw := patterns.Swarms(res.CDB, patterns.SwarmParams{MinO: 10, MinT: 15})
+	cv := patterns.Convoys(res.CDB, patterns.ConvoyParams{M: 10, K: 15})
+	mc := patterns.MovingClusters(res.CDB, patterns.MovingClusterParams{Theta: 0.6, K: 15})
+	fmt.Printf("\nswarms (≥10 objects, ≥15 ticks): %d\n", len(sw))
+	for _, s := range sw {
+		fmt.Printf("  swarm of %d objects over %d ticks (ids %v...)\n",
+			len(s.Objects), len(s.Ticks), s.Objects[:min(4, len(s.Objects))])
+	}
+	fmt.Printf("convoys (≥10 objects, ≥15 consecutive ticks): %d\n", len(cv))
+	for _, c := range cv {
+		fmt.Printf("  convoy of %d objects, ticks [%d,%d)\n",
+			len(c.Objects), c.Start, int(c.Start)+c.Lifetime)
+	}
+	fmt.Printf("moving clusters (θ=0.6, ≥15 ticks): %d\n", len(mc))
+
+	fmt.Println("\nreading the results:")
+	fmt.Println(" - only the gathering captures the WHOLE celebration: ~20 people")
+	fmt.Println("   present at every tick, though visitors churn entirely. The")
+	fmt.Println("   swarm/convoy at (500,500) is just the 10-person organiser core —")
+	fmt.Println("   group patterns are blind to the other half of the event.")
+	fmt.Println(" - the tour group appears as swarm/convoy/moving cluster but")
+	fmt.Println("   NOT as a gathering (it keeps moving, violating stationariness)")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

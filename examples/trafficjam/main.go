@@ -1,0 +1,79 @@
+// Traffic-jam detection on a synthetic city, the paper's §IV case study:
+// GPS-equipped taxis act as mobile traffic sensors, and traffic jams
+// surface as gatherings — dense, durable, stationary clusters with
+// committed members — while taxi queues at malls (dense but high-churn)
+// correctly do not.
+//
+// The example generates one day of city traffic with injected jams and
+// drop-and-go venues, runs discovery, and reports jams with their
+// locations, time windows and severity. It also contrasts the crowd count
+// with the gathering count: the difference is exactly the churn-only
+// congestion the gathering definition is designed to reject.
+//
+// Run with:
+//
+//	go run ./examples/trafficjam
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	gatherings "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	// One synthetic day: 288 ticks of 5 minutes, 600 taxis, rush-hour
+	// jams plus evening mall traffic.
+	cfg := gen.Default()
+	cfg.Seed = 7
+	db := gen.Generate(cfg)
+
+	pipe := gatherings.DefaultConfig()
+	pipe.MC = 10 // ≥ 10 taxis per cluster
+	pipe.KC = 10 // congestion lasting ≥ 50 simulated minutes
+	pipe.KP = 8  // committed vehicles stuck ≥ 40 minutes
+	pipe.MP = 8  // ≥ 8 committed vehicles throughout
+	pipe.Parallelism = 4
+
+	res, err := gatherings.Discover(db, pipe)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type jam struct {
+		g     *gatherings.Gathering
+		start gatherings.Tick
+	}
+	var jams []jam
+	for i, cr := range res.Crowds {
+		for _, g := range res.Gatherings[i] {
+			jams = append(jams, jam{g: g, start: cr.Start})
+		}
+	}
+	sort.Slice(jams, func(i, j int) bool {
+		return jams[i].g.Crowd.Start < jams[j].g.Crowd.Start
+	})
+
+	fmt.Printf("taxis: %d   day: %d ticks of 5 min\n", db.NumObjects(), db.Domain.N)
+	fmt.Printf("dense congested areas (closed crowds):  %d\n", len(res.Crowds))
+	fmt.Printf("actual traffic jams (closed gatherings): %d\n", len(jams))
+	fmt.Println("\njam report:")
+	for k, j := range jams {
+		c := j.g.Crowd.Clusters[0].MBR().Center()
+		from, to := int(j.g.Crowd.Start), int(j.g.Crowd.End())
+		fmt.Printf("  #%d  %s–%s  at (%5.0fm, %5.0fm)  stuck vehicles: %d\n",
+			k+1, clock(from), clock(to), c.X, c.Y, len(j.g.Participators))
+	}
+	fmt.Println("\ncongested-but-flowing areas (crowds without gatherings) are")
+	fmt.Println("typically taxi queues at venues: dense, durable, but every")
+	fmt.Println("vehicle leaves within minutes, so no participators accumulate.")
+}
+
+// clock renders a tick index (5-minute ticks) as hh:mm.
+func clock(tick int) string {
+	m := tick * 5
+	return fmt.Sprintf("%02d:%02d", (m/60)%24, m%60)
+}

@@ -1,0 +1,129 @@
+package gatherings_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	gatherings "repro"
+	"repro/internal/gen"
+)
+
+func testWorkload() *gatherings.DB {
+	cfg := gen.Default()
+	cfg.NumTaxis = 250
+	cfg.TicksPerDay = 96
+	cfg.JamsPerRegime = [3]int{3, 1, 1}
+	return gen.Generate(cfg)
+}
+
+func testConfig() gatherings.Config {
+	cfg := gatherings.DefaultConfig()
+	cfg.MC = 8
+	cfg.KC = 6
+	cfg.KP = 4
+	cfg.MP = 5
+	return cfg
+}
+
+func TestDiscoverPublicAPI(t *testing.T) {
+	res, err := gatherings.Discover(testWorkload(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crowds) == 0 || len(res.AllGatherings()) == 0 {
+		t.Fatalf("crowds=%d gatherings=%d", len(res.Crowds), len(res.AllGatherings()))
+	}
+	// Each gathering's participators really appear in ≥ kp clusters.
+	cfg := testConfig()
+	for _, g := range res.AllGatherings() {
+		par := gatherings.Participators(g.Crowd, cfg.KP)
+		if !reflect.DeepEqual(par, g.Participators) {
+			t.Fatalf("participator mismatch: %v vs %v", par, g.Participators)
+		}
+	}
+}
+
+func TestBuildAndDiscoverCDB(t *testing.T) {
+	db := testWorkload()
+	cfg := testConfig()
+	cdb := gatherings.BuildCDB(db, cfg)
+	if cdb.NumClusters() == 0 {
+		t.Fatal("no snapshot clusters")
+	}
+	res, err := gatherings.DiscoverCDB(cdb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := gatherings.Discover(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crowds) != len(full.Crowds) {
+		t.Fatalf("split pipeline found %d crowds, full %d", len(res.Crowds), len(full.Crowds))
+	}
+}
+
+func TestStoreIncrementalMatchesBatch(t *testing.T) {
+	db := testWorkload()
+	cfg := testConfig()
+
+	full, err := gatherings.Discover(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := gatherings.NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the same pre-clustered data in 4 slices so cluster objects are
+	// identical between runs.
+	cdb := gatherings.BuildCDB(db, cfg)
+	n := cdb.Domain.N
+	chunk := n / 4
+	for i := 0; i < 4; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if i == 3 {
+			hi = n
+		}
+		s := cdb.Slice(gatherings.Tick(lo), hi-lo)
+		store.AppendCDB(&gatherings.CDB{Domain: s.Domain, Clusters: s.Clusters})
+	}
+	if store.Ticks() != n {
+		t.Fatalf("store ticks = %d, want %d", store.Ticks(), n)
+	}
+	if got, want := len(store.Crowds()), len(full.Crowds); got != want {
+		t.Fatalf("incremental crowds %d != batch %d", got, want)
+	}
+	if got, want := len(store.AllGatherings()), len(full.AllGatherings()); got != want {
+		t.Fatalf("incremental gatherings %d != batch %d", got, want)
+	}
+}
+
+func TestNewStoreRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Delta = -1
+	if _, err := gatherings.NewStore(cfg); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestCSVRoundTripPublic(t *testing.T) {
+	db := testWorkload()
+	var buf bytes.Buffer
+	if err := gatherings.WriteTrajectoriesCSV(&buf, db.Trajs[:5]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gatherings.ReadTrajectoriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("round trip lost trajectories: %d", len(got))
+	}
+	if !reflect.DeepEqual(got[0].Samples, db.Trajs[0].Samples) {
+		t.Fatal("sample data corrupted in round trip")
+	}
+}

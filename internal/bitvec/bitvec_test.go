@@ -1,0 +1,275 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndLen(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len(%d) = %d", n, v.Len())
+		}
+		if v.Popcount() != 0 {
+			t.Fatalf("new vector not zero")
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		v.Set(i)
+	}
+	for _, i := range idx {
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if v.Popcount() != len(idx) {
+		t.Fatalf("Popcount = %d, want %d", v.Popcount(), len(idx))
+	}
+	if v.Get(2) || v.Get(62) || v.Get(66) {
+		t.Fatal("stray bit set")
+	}
+	v.Clear(64)
+	if v.Get(64) {
+		t.Fatal("Clear failed")
+	}
+	if v.Popcount() != len(idx)-1 {
+		t.Fatalf("Popcount after clear = %d", v.Popcount())
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	v := New(10)
+	for _, f := range []func(){
+		func() { v.Set(10) },
+		func() { v.Get(-1) },
+		func() { v.Clear(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on out-of-range access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := New(70)
+	v.Set(5)
+	w := v.Clone()
+	w.Set(6)
+	if v.Get(6) {
+		t.Fatal("Clone shares storage")
+	}
+	if !w.Get(5) {
+		t.Fatal("Clone lost bits")
+	}
+}
+
+func TestAndAndNot(t *testing.T) {
+	a, _ := FromString("110110")
+	b, _ := FromString("101010")
+	got := a.Clone().And(b)
+	if got.String() != "100010" {
+		t.Fatalf("And = %s", got)
+	}
+	got = a.Clone().AndNot(b)
+	if got.String() != "010100" {
+		t.Fatalf("AndNot = %s", got)
+	}
+}
+
+func TestAndLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(10).And(New(11))
+}
+
+func TestPaperBVSExample(t *testing.T) {
+	// Figure 3's signatures: counting the 1s of B(o1) = 01101100 gives 4.
+	b1, err := FromString("01101100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b1.Popcount(); got != 4 {
+		t.Fatalf("B(o1) weight = %d, want 4", got)
+	}
+	// Mask for sub-crowd Cra = first four clusters: 11110000.
+	maskA := RangeMask(8, 0, 4)
+	if maskA.String() != "11110000" {
+		t.Fatalf("mask Cra = %s", maskA)
+	}
+	// Mask for Crb = last three clusters: 00000111.
+	maskB := RangeMask(8, 5, 8)
+	if maskB.String() != "00000111" {
+		t.Fatalf("mask Crb = %s", maskB)
+	}
+	// o1 occurs twice in Cra (c2, c3) and once in Crb (c6): with kp = 3 it
+	// is a non-participator of both sub-crowds, as in Example 3.
+	if got := b1.PopcountMasked(maskA); got != 2 {
+		t.Fatalf("o1 in Cra = %d, want 2", got)
+	}
+	if got := b1.PopcountMasked(maskB); got != 1 {
+		t.Fatalf("o1 in Crb = %d, want 1", got)
+	}
+	// o4 = 10111111: 3 in Cra, 3 in Crb.
+	b4, _ := FromString("10111111")
+	if got := b4.PopcountMasked(maskA); got != 3 {
+		t.Fatalf("o4 in Cra = %d", got)
+	}
+	if got := b4.PopcountMasked(maskB); got != 3 {
+		t.Fatalf("o4 in Crb = %d", got)
+	}
+}
+
+func TestPopcountTreeMatchesWord(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(300)
+		v, m := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				v.Set(i)
+			}
+			if r.Intn(2) == 0 {
+				m.Set(i)
+			}
+		}
+		if a, b := v.PopcountMasked(m), v.PopcountMaskedTree(m); a != b {
+			t.Fatalf("trial %d: word=%d tree=%d", trial, a, b)
+		}
+	}
+}
+
+func TestPopcountTree64Exhaustive(t *testing.T) {
+	// spot patterns plus property check against math/bits
+	cases := map[uint64]int{
+		0:                  0,
+		1:                  1,
+		^uint64(0):         64,
+		0x8000000000000000: 1,
+		0x5555555555555555: 32,
+		0xf0f0f0f0f0f0f0f0: 32,
+	}
+	for x, want := range cases {
+		if got := popcountTree64(x); got != want {
+			t.Fatalf("popcountTree64(%#x) = %d, want %d", x, got, want)
+		}
+	}
+	f := func(x uint64) bool {
+		w := 0
+		for y := x; y != 0; y &= y - 1 {
+			w++
+		}
+		return popcountTree64(x) == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeMask(t *testing.T) {
+	m := RangeMask(200, 30, 170)
+	for i := 0; i < 200; i++ {
+		want := i >= 30 && i < 170
+		if m.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, m.Get(i), want)
+		}
+	}
+	if m.Popcount() != 140 {
+		t.Fatalf("mask weight = %d", m.Popcount())
+	}
+	if RangeMask(10, 3, 3).Popcount() != 0 {
+		t.Fatal("empty range mask non-zero")
+	}
+	full := RangeMask(128, 0, 128)
+	if full.Popcount() != 128 {
+		t.Fatalf("full mask weight = %d", full.Popcount())
+	}
+}
+
+func TestRangeMaskPanics(t *testing.T) {
+	for _, c := range [][3]int{{10, -1, 5}, {10, 5, 3}, {10, 0, 11}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for %v", c)
+				}
+			}()
+			RangeMask(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestNextSetBit(t *testing.T) {
+	v := New(200)
+	for _, i := range []int{3, 64, 130, 199} {
+		v.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 130}, {131, 199}, {199, 199}, {200, -1}, {-5, 3},
+	}
+	for _, c := range cases {
+		if got := v.NextSetBit(c.from); got != c.want {
+			t.Fatalf("NextSetBit(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := New(64).NextSetBit(0); got != -1 {
+		t.Fatalf("NextSetBit on zero vector = %d", got)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	s := "0110100111010001"
+	v, err := FromString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != s {
+		t.Fatalf("round trip: %s -> %s", s, v.String())
+	}
+	if _, err := FromString("01x0"); err == nil {
+		t.Fatal("invalid rune accepted")
+	}
+}
+
+func TestPopcountMaskedEqualsAndThenPopcount(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(256)
+		v, m := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				v.Set(i)
+			}
+			if r.Intn(3) == 0 {
+				m.Set(i)
+			}
+		}
+		return v.PopcountMasked(m) == v.Clone().And(m).Popcount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package crowd implements closed crowd discovery (Definition 2, Algorithm
+// 1). A crowd is a sequence of snapshot clusters at consecutive ticks, each
+// with at least mc objects, consecutive clusters within Hausdorff distance
+// δ, lasting at least kc ticks. The discovery algorithm sweeps the ticks
+// once, maintaining the set V of crowd candidates; a candidate that cannot
+// be extended by any cluster of the next tick is closed (Lemma 1).
+//
+// The expensive step is RangeSearch — finding the clusters of the next
+// tick within Hausdorff distance δ of a candidate's last cluster — so it is
+// a pluggable Searcher with four implementations: brute force, SR (R-tree
+// window query with the dmin bound, Lemma 2), IR (R-tree side query with
+// the dside bound, Lemma 3) and Grid (the grid index of §III-A2).
+package crowd
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/gridindex"
+	"repro/internal/rtree"
+	"repro/internal/snapshot"
+	"repro/internal/trajectory"
+)
+
+// Params are the crowd thresholds of Definition 2.
+type Params struct {
+	MC    int     // support threshold: minimum objects per cluster
+	KC    int     // lifetime threshold: minimum number of consecutive ticks
+	Delta float64 // variation threshold on consecutive Hausdorff distances
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.MC < 1 {
+		return fmt.Errorf("crowd: MC must be ≥ 1, got %d", p.MC)
+	}
+	if p.KC < 1 {
+		return fmt.Errorf("crowd: KC must be ≥ 1, got %d", p.KC)
+	}
+	if p.Delta <= 0 {
+		return fmt.Errorf("crowd: Delta must be > 0, got %v", p.Delta)
+	}
+	return nil
+}
+
+// Crowd is a candidate or discovered crowd: consecutive snapshot clusters
+// starting at tick Start.
+type Crowd struct {
+	Start    trajectory.Tick
+	Clusters []*snapshot.Cluster
+
+	// Origin links an extended crowd back to the initial candidate it grew
+	// from when discovery was resumed with DiscoverFrom (nil for crowds
+	// that started within the sweep). The incremental layer uses it to
+	// find the old crowd's gatherings for the update of §III-C2.
+	Origin *Crowd
+}
+
+// Lifetime returns Cr.τ, the number of ticks the crowd spans.
+func (c *Crowd) Lifetime() int { return len(c.Clusters) }
+
+// End returns the tick of the last cluster.
+func (c *Crowd) End() trajectory.Tick {
+	return c.Start + trajectory.Tick(len(c.Clusters)-1)
+}
+
+// extend returns a new crowd with cl appended; the receiver is unchanged
+// (candidates branch, so the cluster slice must not be shared).
+func (c *Crowd) extend(cl *snapshot.Cluster) *Crowd {
+	cls := make([]*snapshot.Cluster, len(c.Clusters)+1)
+	copy(cls, c.Clusters)
+	cls[len(c.Clusters)] = cl
+	return &Crowd{Start: c.Start, Clusters: cls, Origin: c.Origin}
+}
+
+// String renders the crowd compactly.
+func (c *Crowd) String() string {
+	return fmt.Sprintf("Cr[%d..%d]", c.Start, c.End())
+}
+
+// Searcher finds, among the clusters of one tick, those within Hausdorff
+// distance δ of a query cluster. Prepare is called once per tick before any
+// Search at that tick; Search returns indices into the prepared slice.
+type Searcher interface {
+	Prepare(clusters []*snapshot.Cluster)
+	Search(query *snapshot.Cluster) []int32
+}
+
+// Result is the outcome of a discovery sweep.
+type Result struct {
+	// Crowds are the closed crowds, in order of closing tick.
+	Crowds []*Crowd
+	// Tail holds every candidate alive after the final tick, of any
+	// length, including those also emitted in Crowds. It is the saved
+	// state CS for incremental crowd extension (§III-C1).
+	Tail []*Crowd
+}
+
+// Discover runs Algorithm 1 over the whole cluster database.
+func Discover(cdb *snapshot.CDB, p Params, s Searcher) Result {
+	return DiscoverFrom(cdb, 0, nil, p, s)
+}
+
+// DiscoverFrom resumes Algorithm 1 at tick from with an initial candidate
+// set whose last clusters sit at tick from-1. It is the engine of both
+// archival discovery (from = 0, initial = nil) and incremental crowd
+// extension.
+func DiscoverFrom(cdb *snapshot.CDB, from trajectory.Tick, initial []*Crowd, p Params, s Searcher) Result {
+	var closed []*Crowd
+	cur := append([]*Crowd(nil), initial...)
+	for _, c := range cur {
+		if c.Origin == nil {
+			c.Origin = c // initial candidates are their own origin
+		}
+	}
+
+	n := trajectory.Tick(len(cdb.Clusters))
+	var eligible []*snapshot.Cluster
+	for t := from; t < n; t++ {
+		// Only clusters meeting the support threshold can ever be part of
+		// a crowd (Definition 2, condition 2).
+		eligible = eligible[:0]
+		for _, c := range cdb.Clusters[t] {
+			if c.Len() >= p.MC {
+				eligible = append(eligible, c)
+			}
+		}
+		s.Prepare(eligible)
+
+		used := make([]bool, len(eligible))
+		next := cur[:0:0] // fresh slice; cur entries may be retained in closed
+		for _, cand := range cur {
+			last := cand.Clusters[len(cand.Clusters)-1]
+			matches := s.Search(last)
+			if len(matches) == 0 {
+				// Cannot be extended: closed crowd (Lemma 1) or dead end.
+				if cand.Lifetime() >= p.KC {
+					closed = append(closed, cand)
+				}
+				continue
+			}
+			for _, mi := range matches {
+				used[mi] = true
+				next = append(next, cand.extend(eligible[mi]))
+			}
+		}
+		// Clusters that extended nothing become new candidates (line 18).
+		for i, c := range eligible {
+			if !used[i] {
+				next = append(next, &Crowd{Start: t, Clusters: []*snapshot.Cluster{c}})
+			}
+		}
+		cur = next
+	}
+
+	// Domain exhausted: surviving candidates of sufficient length are
+	// closed within this database (they may still be extended by a future
+	// batch, which is why they are also returned in Tail).
+	for _, cand := range cur {
+		if cand.Lifetime() >= p.KC {
+			closed = append(closed, cand)
+		}
+	}
+	return Result{Crowds: closed, Tail: cur}
+}
+
+// BruteSearcher verifies the Hausdorff predicate against every cluster of
+// the tick. It is the correctness baseline the indexed searchers are
+// tested against, and the "no pruning" datum for Fig. 6.
+type BruteSearcher struct {
+	Delta    float64
+	clusters []*snapshot.Cluster
+}
+
+// Prepare implements Searcher.
+func (b *BruteSearcher) Prepare(cs []*snapshot.Cluster) { b.clusters = cs }
+
+// Search implements Searcher.
+func (b *BruteSearcher) Search(q *snapshot.Cluster) []int32 {
+	var out []int32
+	for i, c := range b.clusters {
+		if geo.WithinHausdorff(q.Points, c.Points, b.Delta) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// SRSearcher is the simple R-tree scheme (§III-A1): cluster MBRs are
+// indexed per tick; candidates are found with a window query over the
+// query MBR enlarged by δ (the dmin bound of Lemma 2) and refined by
+// evaluating the exact Hausdorff distance, exactly as the paper describes
+// ("the brute-force refinement is still needed to evaluate the Hausdorff
+// distances for those candidate clusters"). The grid scheme's edge comes
+// from never paying this quadratic refinement.
+type SRSearcher struct {
+	Delta    float64
+	tree     *rtree.Tree
+	clusters []*snapshot.Cluster
+
+	// Stats accumulate over the sweep for pruning-effect reporting.
+	Candidates int // clusters surviving the index filter
+	Results    int // clusters passing refinement
+}
+
+// Prepare implements Searcher.
+func (s *SRSearcher) Prepare(cs []*snapshot.Cluster) {
+	s.clusters = cs
+	items := make([]rtree.Item, len(cs))
+	for i, c := range cs {
+		items[i] = rtree.Item{Rect: c.MBR(), ID: int32(i)}
+	}
+	s.tree = rtree.BulkLoad(items)
+}
+
+// Search implements Searcher.
+func (s *SRSearcher) Search(q *snapshot.Cluster) []int32 {
+	var out []int32
+	window := q.MBR().Expand(s.Delta)
+	s.tree.Search(window, func(id int32) bool {
+		s.Candidates++
+		if geo.Hausdorff(q.Points, s.clusters[id].Points) <= s.Delta {
+			out = append(out, id)
+		}
+		return true
+	})
+	s.Results += len(out)
+	return out
+}
+
+// IRSearcher is the improved R-tree scheme: the traversal requires a node
+// to intersect all four δ-enlarged sides of the query MBR (the dside bound
+// of Lemma 3), which prunes more than the plain window, then refines
+// survivors exactly.
+type IRSearcher struct {
+	Delta    float64
+	tree     *rtree.Tree
+	clusters []*snapshot.Cluster
+
+	Candidates int
+	Results    int
+}
+
+// Prepare implements Searcher.
+func (s *IRSearcher) Prepare(cs []*snapshot.Cluster) {
+	s.clusters = cs
+	items := make([]rtree.Item, len(cs))
+	for i, c := range cs {
+		items[i] = rtree.Item{Rect: c.MBR(), ID: int32(i)}
+	}
+	s.tree = rtree.BulkLoad(items)
+}
+
+// Search implements Searcher.
+func (s *IRSearcher) Search(q *snapshot.Cluster) []int32 {
+	var out []int32
+	s.tree.SearchDSide(q.MBR(), s.Delta, func(id int32) bool {
+		s.Candidates++
+		if geo.Hausdorff(q.Points, s.clusters[id].Points) <= s.Delta {
+			out = append(out, id)
+		}
+		return true
+	})
+	s.Results += len(out)
+	return out
+}
+
+// GridSearcher is the grid scheme of §III-A2: affect-region pruning plus
+// cell-level refinement, never computing an exact Hausdorff distance. The
+// grid geometry is the same at every tick, so a query cluster's cell
+// decomposition — computed when its own tick was indexed — is reused from
+// the previous tick's index instead of being rebuilt.
+type GridSearcher struct {
+	Delta float64
+	index *gridindex.Index
+	prev  *gridindex.Index
+
+	// Candidates and Results accumulate over the sweep, as for SR/IR.
+	Candidates int
+	Results    int
+}
+
+// Prepare implements Searcher.
+func (s *GridSearcher) Prepare(cs []*snapshot.Cluster) {
+	if s.index != nil {
+		s.Candidates += s.index.Candidates
+		s.Results += s.index.Results
+	}
+	s.prev = s.index
+	s.index = gridindex.Build(cs, s.Delta)
+}
+
+// FlushStats folds the live index's counters into the searcher totals;
+// call after a sweep completes before reading Candidates/Results.
+func (s *GridSearcher) FlushStats() {
+	if s.index != nil {
+		s.Candidates += s.index.Candidates
+		s.Results += s.index.Results
+		s.index.Candidates, s.index.Results = 0, 0
+	}
+}
+
+// Search implements Searcher.
+func (s *GridSearcher) Search(q *snapshot.Cluster) []int32 {
+	if s.prev != nil {
+		if qd, ok := s.prev.DecompositionOf(q); ok {
+			return s.index.RangeSearchDecomposed(q, qd)
+		}
+	}
+	return s.index.RangeSearch(q)
+}
+
+// NewSearcher returns the named searcher ("brute", "sr", "ir" or "grid"),
+// the configuration surface used by the CLI and benchmarks.
+func NewSearcher(name string, delta float64) (Searcher, error) {
+	switch name {
+	case "brute":
+		return &BruteSearcher{Delta: delta}, nil
+	case "sr":
+		return &SRSearcher{Delta: delta}, nil
+	case "ir":
+		return &IRSearcher{Delta: delta}, nil
+	case "grid":
+		return &GridSearcher{Delta: delta}, nil
+	}
+	return nil, fmt.Errorf("crowd: unknown searcher %q", name)
+}

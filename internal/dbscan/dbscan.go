@@ -1,0 +1,147 @@
+// Package dbscan implements the density-based clustering of Ester et
+// al. [14] used to form snapshot clusters (Definition 1). Neighbourhood
+// queries are served by a uniform grid with cell side ε, so clustering a
+// snapshot of n points costs O(n · k) where k is the mean ε-neighbourhood
+// size, instead of the naive O(n²).
+package dbscan
+
+import (
+	"repro/internal/geo"
+)
+
+// Params are the DBSCAN parameters: Eps is the ε-neighbourhood radius in
+// metres, MinPts the density threshold m. A point is a core point when at
+// least MinPts points (including itself) lie within Eps of it.
+type Params struct {
+	Eps    float64
+	MinPts int
+}
+
+// Noise is the cluster label of points not assigned to any cluster.
+const Noise = -1
+
+// cellKey identifies one grid cell.
+type cellKey struct{ x, y int32 }
+
+// grid is a uniform hash grid over the input points with cell side Eps.
+type grid struct {
+	eps   float64
+	cells map[cellKey][]int32 // point indices per cell
+}
+
+func buildGrid(pts []geo.Point, eps float64) *grid {
+	g := &grid{eps: eps, cells: make(map[cellKey][]int32, len(pts)/2+1)}
+	for i, p := range pts {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	return g
+}
+
+func (g *grid) key(p geo.Point) cellKey {
+	return cellKey{int32(floorDiv(p.X, g.eps)), int32(floorDiv(p.Y, g.eps))}
+}
+
+func floorDiv(v, s float64) int {
+	q := v / s
+	i := int(q)
+	if q < 0 && float64(i) != q {
+		i--
+	}
+	return i
+}
+
+// neighbors appends to dst the indices of all points within eps of pts[i]
+// (including i itself) and returns dst.
+func (g *grid) neighbors(pts []geo.Point, i int, dst []int32) []int32 {
+	p := pts[i]
+	k := g.key(p)
+	e2 := g.eps * g.eps
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for _, j := range g.cells[cellKey{k.x + dx, k.y + dy}] {
+				if pts[j].Dist2(p) <= e2 {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Cluster runs DBSCAN over pts and returns a label per point: 0..k-1 for
+// the k clusters found, or Noise. Border points are assigned to the first
+// core point's cluster that reaches them, as in the original algorithm.
+func Cluster(pts []geo.Point, p Params) []int {
+	n := len(pts)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if n == 0 || p.MinPts <= 0 || p.Eps <= 0 {
+		return labels
+	}
+	g := buildGrid(pts, p.Eps)
+
+	visited := make([]bool, n)
+	var (
+		next    int // next cluster id
+		queue   []int32
+		scratch []int32
+	)
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		scratch = g.neighbors(pts, i, scratch[:0])
+		if len(scratch) < p.MinPts {
+			continue // not a core point; may become a border point later
+		}
+		// Start a new cluster and expand it breadth-first over the
+		// density-reachable set.
+		c := next
+		next++
+		labels[i] = c
+		queue = append(queue[:0], scratch...)
+		for len(queue) > 0 {
+			j := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if labels[j] == Noise {
+				labels[j] = c // reachable border or core point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			scratch = g.neighbors(pts, int(j), scratch[:0])
+			if len(scratch) >= p.MinPts {
+				// j is a core point: its neighbourhood joins the cluster.
+				queue = append(queue, scratch...)
+			}
+		}
+	}
+	return labels
+}
+
+// Groups converts a label slice into index groups, one per cluster, with
+// noise dropped. Groups preserve input order inside each cluster and are
+// ordered by cluster id (i.e. order of discovery).
+func Groups(labels []int) [][]int {
+	max := -1
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	if max < 0 {
+		return nil
+	}
+	groups := make([][]int, max+1)
+	for i, l := range labels {
+		if l >= 0 {
+			groups[l] = append(groups[l], i)
+		}
+	}
+	return groups
+}

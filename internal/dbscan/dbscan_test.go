@@ -1,0 +1,281 @@
+package dbscan
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// naive is a reference DBSCAN with O(n²) region queries, used to verify the
+// grid-accelerated implementation.
+func naive(pts []geo.Point, p Params) []int {
+	n := len(pts)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	nbrs := func(i int) []int {
+		var out []int
+		for j := range pts {
+			if pts[i].Dist(pts[j]) <= p.Eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	visited := make([]bool, n)
+	next := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		nb := nbrs(i)
+		if len(nb) < p.MinPts {
+			continue
+		}
+		c := next
+		next++
+		labels[i] = c
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if labels[j] == Noise {
+				labels[j] = c
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			nb2 := nbrs(j)
+			if len(nb2) >= p.MinPts {
+				queue = append(queue, nb2...)
+			}
+		}
+	}
+	return labels
+}
+
+// canonical maps a labelling to a partition signature independent of
+// cluster numbering and border-point tie-breaks are avoided by the chosen
+// test data (well-separated blobs).
+func canonical(labels []int) map[int][]int {
+	part := map[int][]int{}
+	for i, l := range labels {
+		if l >= 0 {
+			part[l] = append(part[l], i)
+		}
+	}
+	return part
+}
+
+func samePartition(a, b []int) bool {
+	pa, pb := canonical(a), canonical(b)
+	if len(pa) != len(pb) {
+		return false
+	}
+	// Compare as sets of sorted groups keyed by smallest member.
+	sig := func(p map[int][]int) map[int][]int {
+		out := map[int][]int{}
+		for _, g := range p {
+			sort.Ints(g)
+			out[g[0]] = g
+		}
+		return out
+	}
+	sa, sb := sig(pa), sig(pb)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k, ga := range sa {
+		gb, ok := sb[k]
+		if !ok || len(ga) != len(gb) {
+			return false
+		}
+		for i := range ga {
+			if ga[i] != gb[i] {
+				return false
+			}
+		}
+	}
+	// noise must match too
+	for i := range a {
+		if (a[i] == Noise) != (b[i] == Noise) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClusterTwoBlobs(t *testing.T) {
+	var pts []geo.Point
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geo.Point{X: r.Float64() * 10, Y: r.Float64() * 10})
+	}
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geo.Point{X: 1000 + r.Float64()*10, Y: r.Float64() * 10})
+	}
+	pts = append(pts, geo.Point{X: 500, Y: 500}) // isolated noise
+
+	labels := Cluster(pts, Params{Eps: 15, MinPts: 3})
+	groups := Groups(labels)
+	if len(groups) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(groups))
+	}
+	if labels[40] != Noise {
+		t.Fatal("isolated point not noise")
+	}
+	if len(groups[0])+len(groups[1]) != 40 {
+		t.Fatalf("cluster sizes %d + %d != 40", len(groups[0]), len(groups[1]))
+	}
+}
+
+func TestClusterAllNoise(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 200, Y: 0}}
+	labels := Cluster(pts, Params{Eps: 10, MinPts: 2})
+	for i, l := range labels {
+		if l != Noise {
+			t.Fatalf("point %d labelled %d, want noise", i, l)
+		}
+	}
+	if Groups(labels) != nil {
+		t.Fatal("Groups of all-noise should be nil")
+	}
+}
+
+func TestClusterMinPtsIncludesSelf(t *testing.T) {
+	// Two points within eps: with MinPts=2 each is a core point.
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	labels := Cluster(pts, Params{Eps: 2, MinPts: 2})
+	if labels[0] < 0 || labels[0] != labels[1] {
+		t.Fatalf("labels = %v", labels)
+	}
+	// With MinPts=3 neither is core.
+	labels = Cluster(pts, Params{Eps: 2, MinPts: 3})
+	if labels[0] != Noise || labels[1] != Noise {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestClusterChainConnectivity(t *testing.T) {
+	// A chain of points spaced 1 apart with eps=1.5 is one cluster even
+	// though the endpoints are far apart (density-reachability).
+	var pts []geo.Point
+	for i := 0; i < 50; i++ {
+		pts = append(pts, geo.Point{X: float64(i), Y: 0})
+	}
+	labels := Cluster(pts, Params{Eps: 1.5, MinPts: 2})
+	for i, l := range labels {
+		if l != 0 {
+			t.Fatalf("point %d labelled %d", i, l)
+		}
+	}
+}
+
+func TestClusterEmptyAndDegenerateParams(t *testing.T) {
+	if got := Cluster(nil, Params{Eps: 1, MinPts: 1}); len(got) != 0 {
+		t.Fatalf("nil input -> %v", got)
+	}
+	pts := []geo.Point{{X: 0, Y: 0}}
+	for _, p := range []Params{{Eps: 0, MinPts: 1}, {Eps: 1, MinPts: 0}, {Eps: -1, MinPts: 1}} {
+		labels := Cluster(pts, p)
+		if labels[0] != Noise {
+			t.Fatalf("params %+v: label %d", p, labels[0])
+		}
+	}
+}
+
+func TestClusterDuplicatePoints(t *testing.T) {
+	pts := []geo.Point{{X: 5, Y: 5}, {X: 5, Y: 5}, {X: 5, Y: 5}, {X: 5, Y: 5}}
+	labels := Cluster(pts, Params{Eps: 0.5, MinPts: 4})
+	for i, l := range labels {
+		if l != 0 {
+			t.Fatalf("dup point %d labelled %d", i, l)
+		}
+	}
+}
+
+func TestClusterNegativeCoordinates(t *testing.T) {
+	// floorDiv must behave on negative coordinates; a blob straddling the
+	// origin must be one cluster.
+	var pts []geo.Point
+	for i := -5; i <= 5; i++ {
+		pts = append(pts, geo.Point{X: float64(i) * 0.5, Y: -0.25})
+	}
+	labels := Cluster(pts, Params{Eps: 0.75, MinPts: 2})
+	for i, l := range labels {
+		if l != 0 {
+			t.Fatalf("point %d labelled %d", i, l)
+		}
+	}
+}
+
+func TestClusterMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := 30 + r.Intn(120)
+		pts := make([]geo.Point, n)
+		// several blobs, variable spread
+		for i := range pts {
+			cx := float64(r.Intn(4)) * 120
+			cy := float64(r.Intn(4)) * 120
+			pts[i] = geo.Point{X: cx + r.NormFloat64()*8, Y: cy + r.NormFloat64()*8}
+		}
+		p := Params{Eps: 10 + r.Float64()*10, MinPts: 2 + r.Intn(4)}
+		got := Cluster(pts, p)
+		want := naive(pts, p)
+		// Core/noise structure must match exactly; border assignment can
+		// differ between valid DBSCAN runs, but both implementations visit
+		// points in identical order, so full partitions should agree.
+		if !samePartition(got, want) {
+			t.Fatalf("trial %d (%+v): partitions differ\n got %v\nwant %v", trial, p, got, want)
+		}
+	}
+}
+
+func TestGroupsOrdering(t *testing.T) {
+	labels := []int{1, 0, Noise, 1, 0}
+	groups := Groups(labels)
+	if len(groups) != 2 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	if !equalInts(groups[0], []int{1, 4}) || !equalInts(groups[1], []int{0, 3}) {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClusterLargeUniform(t *testing.T) {
+	// Sanity at scale: dense uniform square becomes a single cluster.
+	r := rand.New(rand.NewSource(5))
+	n := 5000
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: r.Float64() * 100, Y: r.Float64() * 100}
+	}
+	labels := Cluster(pts, Params{Eps: 5, MinPts: 4})
+	groups := Groups(labels)
+	if len(groups) != 1 {
+		t.Fatalf("dense square split into %d clusters", len(groups))
+	}
+	if len(groups[0]) < n*95/100 {
+		t.Fatalf("only %d/%d points clustered", len(groups[0]), n)
+	}
+	_ = math.Pi
+}

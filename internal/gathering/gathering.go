@@ -1,0 +1,405 @@
+// Package gathering implements closed gathering detection (Definitions 3
+// and 4, §III-B). Given a closed crowd, a gathering is a sub-crowd whose
+// every cluster contains at least mp participators — objects appearing in
+// at least kp clusters of that sub-crowd. Gatherings lack the downward
+// closure property, so detection uses the paper's Test-and-Divide (TAD)
+// algorithm: test the whole crowd, remove invalid clusters (those with too
+// few participators), and recurse on the contiguous pieces (Algorithm 2,
+// Theorem 1).
+//
+// Three detectors are provided, mirroring the paper's Fig. 7 comparison:
+// BruteForce (test every contiguous subsequence by decreasing length), TAD
+// (Algorithm 2 with per-recursion counting) and TADStar (TAD over bit
+// vector signatures with mask-based division — the BVS is built once and
+// reused by every recursion).
+package gathering
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/crowd"
+	"repro/internal/trajectory"
+)
+
+// Params are the gathering thresholds.
+type Params struct {
+	KC int // crowd lifetime threshold (a divided piece must still be a crowd)
+	KP int // participator lifetime threshold (Definition 3)
+	MP int // support threshold: minimum participators per cluster (Definition 4)
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.KC < 1 || p.KP < 1 || p.MP < 1 {
+		return fmt.Errorf("gathering: thresholds must be ≥ 1, got %+v", p)
+	}
+	return nil
+}
+
+// Gathering is one closed gathering inside a source crowd: the clusters at
+// positions [Lo, Hi) of the crowd, together with the participator set.
+type Gathering struct {
+	Crowd         *crowd.Crowd // the sub-crowd forming the gathering
+	Lo, Hi        int          // positions within the source crowd, half-open
+	Participators []trajectory.ObjectID
+}
+
+// Lifetime returns the gathering's duration in ticks.
+func (g *Gathering) Lifetime() int { return g.Hi - g.Lo }
+
+// subCrowd materialises positions [lo, hi) of cr as a crowd value.
+func subCrowd(cr *crowd.Crowd, lo, hi int) *crowd.Crowd {
+	return &crowd.Crowd{
+		Start:    cr.Start + trajectory.Tick(lo),
+		Clusters: cr.Clusters[lo:hi],
+	}
+}
+
+// Participators returns the objects appearing in at least kp clusters of
+// cr, sorted by ID (Definition 3).
+func Participators(cr *crowd.Crowd, kp int) []trajectory.ObjectID {
+	counts := make(map[trajectory.ObjectID]int)
+	for _, cl := range cr.Clusters {
+		for _, id := range cl.Objects {
+			counts[id]++
+		}
+	}
+	var out []trajectory.ObjectID
+	for id, n := range counts {
+		if n >= kp {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsGathering reports whether cr as a whole satisfies Definition 4, and
+// returns its participators when it does.
+func IsGathering(cr *crowd.Crowd, p Params) ([]trajectory.ObjectID, bool) {
+	par := Participators(cr, p.KP)
+	isPar := make(map[trajectory.ObjectID]bool, len(par))
+	for _, id := range par {
+		isPar[id] = true
+	}
+	for _, cl := range cr.Clusters {
+		n := 0
+		for _, id := range cl.Objects {
+			if isPar[id] {
+				n++
+			}
+		}
+		if n < p.MP {
+			return nil, false
+		}
+	}
+	return par, true
+}
+
+// BruteForce tests every contiguous subsequence of cr in decreasing length
+// order and reports the closed gatherings: gatherings not contained in a
+// longer gathering already found. This is the Fig. 7 baseline; its cost is
+// quadratic in the number of subsequences tested, each test being linear.
+func BruteForce(cr *crowd.Crowd, p Params) []*Gathering {
+	n := cr.Lifetime()
+	var out []*Gathering
+	for length := n; length >= p.KC; length-- {
+		for lo := 0; lo+length <= n; lo++ {
+			hi := lo + length
+			contained := false
+			for _, g := range out {
+				if g.Lo <= lo && hi <= g.Hi {
+					contained = true
+					break
+				}
+			}
+			if contained {
+				continue
+			}
+			sub := subCrowd(cr, lo, hi)
+			if par, ok := IsGathering(sub, p); ok {
+				out = append(out, &Gathering{Crowd: sub, Lo: lo, Hi: hi, Participators: par})
+			}
+		}
+	}
+	sortGatherings(out)
+	return out
+}
+
+// TAD is Algorithm 2 with straightforward occurrence counting repeated
+// from scratch in every recursion.
+func TAD(cr *crowd.Crowd, p Params) []*Gathering {
+	var out []*Gathering
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		sub := subCrowd(cr, lo, hi)
+		par := Participators(sub, p.KP)
+		isPar := make(map[trajectory.ObjectID]bool, len(par))
+		for _, id := range par {
+			isPar[id] = true
+		}
+		// find invalid clusters
+		var invalid []int
+		for i := lo; i < hi; i++ {
+			n := 0
+			for _, id := range cr.Clusters[i].Objects {
+				if isPar[id] {
+					n++
+				}
+			}
+			if n < p.MP {
+				invalid = append(invalid, i)
+			}
+		}
+		if len(invalid) == 0 {
+			out = append(out, &Gathering{Crowd: sub, Lo: lo, Hi: hi, Participators: par})
+			return
+		}
+		for _, seg := range segments(lo, hi, invalid) {
+			if seg[1]-seg[0] >= p.KC {
+				rec(seg[0], seg[1])
+			}
+		}
+	}
+	if cr.Lifetime() >= p.KC {
+		rec(0, cr.Lifetime())
+	}
+	sortGatherings(out)
+	return out
+}
+
+// segments splits [lo, hi) at the sorted invalid positions, returning the
+// maximal runs of valid positions.
+func segments(lo, hi int, invalid []int) [][2]int {
+	var out [][2]int
+	start := lo
+	for _, iv := range invalid {
+		if iv > start {
+			out = append(out, [2]int{start, iv})
+		}
+		start = iv + 1
+	}
+	if hi > start {
+		out = append(out, [2]int{start, hi})
+	}
+	return out
+}
+
+// Detector holds the bit vector signatures of a crowd's objects, built
+// once and shared by every TAD* recursion and by the incremental gathering
+// update.
+type Detector struct {
+	cr *crowd.Crowd
+	p  Params
+
+	objs    []trajectory.ObjectID // dense index -> object ID, sorted
+	vecs    []bitvec.Vector       // BVS per dense object index
+	members [][]int32             // per cluster position: dense object indices
+}
+
+// NewDetector builds the signatures for cr: one scan of the crowd
+// (§III-B2). Object IDs are expected to be dense small integers (they are
+// throughout the pipeline), so the object index is a flat slice keyed by
+// ID rather than a hash map.
+func NewDetector(cr *crowd.Crowd, p Params) *Detector {
+	n := cr.Lifetime()
+	maxID := trajectory.ObjectID(-1)
+	for _, cl := range cr.Clusters {
+		for _, id := range cl.Objects {
+			if id > maxID {
+				maxID = id
+			}
+		}
+	}
+	idx := make([]int32, maxID+1)
+	for i := range idx {
+		idx[i] = -1
+	}
+	var objs []trajectory.ObjectID
+	for _, cl := range cr.Clusters {
+		for _, id := range cl.Objects {
+			if idx[id] < 0 {
+				idx[id] = 0 // provisional; re-mapped below
+				objs = append(objs, id)
+			}
+		}
+	}
+	// map densely in sorted ID order for deterministic output
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	for i, id := range objs {
+		idx[id] = int32(i)
+	}
+	d := &Detector{
+		cr:      cr,
+		p:       p,
+		objs:    objs,
+		vecs:    make([]bitvec.Vector, len(objs)),
+		members: make([][]int32, n),
+	}
+	for i := range d.vecs {
+		d.vecs[i] = bitvec.New(n)
+	}
+	for t, cl := range cr.Clusters {
+		ms := make([]int32, len(cl.Objects))
+		for k, id := range cl.Objects {
+			oi := idx[id]
+			ms[k] = oi
+			d.vecs[oi].Set(t)
+		}
+		d.members[t] = ms
+	}
+	return d
+}
+
+// test computes, for the sub-crowd [lo, hi) restricted to the candidate
+// objects alive, the participator set and the invalid cluster positions.
+// Counting is a masked popcount per object — the Test step of TAD*.
+func (d *Detector) test(lo, hi int, alive []int32) (par []int32, invalid []int) {
+	mask := bitvec.RangeMask(d.vecs[0].Len(), lo, hi)
+	isPar := make([]bool, len(d.objs))
+	for _, oi := range alive {
+		if d.vecs[oi].PopcountMasked(mask) >= d.p.KP {
+			isPar[oi] = true
+			par = append(par, oi)
+		}
+	}
+	for t := lo; t < hi; t++ {
+		n := 0
+		for _, oi := range d.members[t] {
+			if isPar[oi] {
+				n++
+			}
+		}
+		if n < d.p.MP {
+			invalid = append(invalid, t)
+		}
+	}
+	return par, invalid
+}
+
+// Run executes TAD* over the whole crowd.
+func (d *Detector) Run() []*Gathering {
+	n := d.cr.Lifetime()
+	if n < d.p.KC || len(d.objs) == 0 {
+		return nil
+	}
+	all := make([]int32, len(d.objs))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	var out []*Gathering
+	d.rec(0, n, all, &out)
+	sortGatherings(out)
+	return out
+}
+
+// rec recurses on the sub-crowd [lo, hi). alive holds the dense indices of
+// objects that were participators of the parent sub-crowd: a
+// non-participator of a crowd remains a non-participator of every
+// sub-crowd, so everything else is skipped (§III-B2, Divide step).
+func (d *Detector) rec(lo, hi int, alive []int32, out *[]*Gathering) {
+	par, invalid := d.test(lo, hi, alive)
+	if len(invalid) == 0 {
+		*out = append(*out, d.materialise(lo, hi, par))
+		return
+	}
+	for _, seg := range segments(lo, hi, invalid) {
+		if seg[1]-seg[0] >= d.p.KC {
+			d.rec(seg[0], seg[1], par, out)
+		}
+	}
+}
+
+func (d *Detector) materialise(lo, hi int, par []int32) *Gathering {
+	ids := make([]trajectory.ObjectID, len(par))
+	for i, oi := range par {
+		ids[i] = d.objs[oi]
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return &Gathering{
+		Crowd:         subCrowd(d.cr, lo, hi),
+		Lo:            lo,
+		Hi:            hi,
+		Participators: ids,
+	}
+}
+
+// RunIncremental executes the gathering update of §III-C2. The crowd is an
+// extension of an old crowd occupying positions [0, oldLen); oldGatherings
+// are the closed gatherings previously detected in it. Using Theorem 2: if
+// some cluster at position j ≤ oldLen is invalid in the extended crowd,
+// every old gathering entirely before j remains closed and only the
+// sub-crowds right of j need re-examination.
+func (d *Detector) RunIncremental(oldLen int, oldGatherings []*Gathering) []*Gathering {
+	n := d.cr.Lifetime()
+	if n < d.p.KC || len(d.objs) == 0 {
+		return nil
+	}
+	all := make([]int32, len(d.objs))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	par, invalid := d.test(0, n, all)
+	if len(invalid) == 0 {
+		out := []*Gathering{d.materialise(0, n, par)}
+		return out
+	}
+
+	// Rightmost invalid position j with j ≤ oldLen (position oldLen is the
+	// paper's c_{n+1}, the first new cluster).
+	j := -1
+	for _, iv := range invalid {
+		if iv <= oldLen && iv > j {
+			j = iv
+		}
+	}
+	var out []*Gathering
+	if j >= 0 {
+		// Theorem 2: gatherings within [0, j) are exactly the old ones.
+		for _, g := range oldGatherings {
+			if g.Hi <= j {
+				out = append(out, g)
+			}
+		}
+		// Re-examine only the region right of j.
+		var rest []int
+		for _, iv := range invalid {
+			if iv > j {
+				rest = append(rest, iv)
+			}
+		}
+		for _, seg := range segments(j+1, n, rest) {
+			if seg[1]-seg[0] >= d.p.KC {
+				d.rec(seg[0], seg[1], par, &out)
+			}
+		}
+	} else {
+		// No invalid cluster inside the old region: the theorem gives no
+		// shortcut, recurse normally.
+		for _, seg := range segments(0, n, invalid) {
+			if seg[1]-seg[0] >= d.p.KC {
+				d.rec(seg[0], seg[1], par, &out)
+			}
+		}
+	}
+	sortGatherings(out)
+	return out
+}
+
+// TADStar is TAD implemented with bit vector signatures (the TAD* of the
+// paper): signatures are built once, Test is a masked popcount, and Divide
+// passes masks rather than copies.
+func TADStar(cr *crowd.Crowd, p Params) []*Gathering {
+	return NewDetector(cr, p).Run()
+}
+
+func sortGatherings(gs []*Gathering) {
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].Lo != gs[j].Lo {
+			return gs[i].Lo < gs[j].Lo
+		}
+		return gs[i].Hi < gs[j].Hi
+	})
+}

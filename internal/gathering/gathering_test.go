@@ -1,0 +1,299 @@
+package gathering
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/geo"
+	"repro/internal/snapshot"
+	"repro/internal/trajectory"
+)
+
+// mkCrowd builds a crowd from per-tick membership lists. Points are
+// synthetic (gathering detection never looks at geometry).
+func mkCrowd(members [][]trajectory.ObjectID) *crowd.Crowd {
+	cr := &crowd.Crowd{Start: 0}
+	for t, ids := range members {
+		pts := make([]geo.Point, len(ids))
+		for i := range pts {
+			pts[i] = geo.Point{X: float64(i), Y: 0}
+		}
+		cp := append([]trajectory.ObjectID(nil), ids...)
+		cr.Clusters = append(cr.Clusters, snapshot.NewCluster(trajectory.Tick(t), cp, pts))
+	}
+	return cr
+}
+
+// figure3Crowd is the crowd of Fig. 3 / Example 3, reconstructed from the
+// BVS table in §III-B2.
+func figure3Crowd() *crowd.Crowd {
+	o := func(ids ...trajectory.ObjectID) []trajectory.ObjectID { return ids }
+	return mkCrowd([][]trajectory.ObjectID{
+		o(2, 3, 4),    // c1
+		o(1, 2, 3, 5), // c2
+		o(1, 2, 4, 5), // c3
+		o(2, 3, 4, 5), // c4
+		o(1, 4, 6),    // c5
+		o(1, 3, 4, 6), // c6
+		o(2, 3, 4),    // c7
+		o(2, 3, 4),    // c8
+	})
+}
+
+func gatherSig(gs []*Gathering) [][2]int {
+	out := make([][2]int, len(gs))
+	for i, g := range gs {
+		out[i] = [2]int{g.Lo, g.Hi}
+	}
+	return out
+}
+
+func TestParticipatorsFigure3(t *testing.T) {
+	cr := figure3Crowd()
+	got := Participators(cr, 3)
+	want := []trajectory.ObjectID{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("participators = %v, want %v", got, want)
+	}
+	// o6 appears twice; with kp=2 it joins.
+	got = Participators(cr, 2)
+	want = []trajectory.ObjectID{1, 2, 3, 4, 5, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("kp=2 participators = %v", got)
+	}
+}
+
+func TestExample3AllDetectors(t *testing.T) {
+	// kc = kp = 3, mc = mp = 3: the only closed gathering is ⟨c1..c4⟩.
+	cr := figure3Crowd()
+	p := Params{KC: 3, KP: 3, MP: 3}
+	want := [][2]int{{0, 4}}
+	for name, det := range map[string]func(*crowd.Crowd, Params) []*Gathering{
+		"brute": BruteForce, "tad": TAD, "tadstar": TADStar,
+	} {
+		got := gatherSig(det(cr, p))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: gatherings %v, want %v", name, got, want)
+		}
+	}
+	// Participator set of the output: o2..o5 (o1 drops to 2 occurrences).
+	gs := TADStar(cr, p)
+	wantPar := []trajectory.ObjectID{2, 3, 4, 5}
+	if !reflect.DeepEqual(gs[0].Participators, wantPar) {
+		t.Fatalf("participators = %v, want %v", gs[0].Participators, wantPar)
+	}
+	if gs[0].Crowd.Start != 0 || gs[0].Crowd.Lifetime() != 4 || gs[0].Lifetime() != 4 {
+		t.Fatalf("gathering crowd bounds wrong: %+v", gs[0])
+	}
+}
+
+func TestNoDownwardClosure(t *testing.T) {
+	// §III-B's counter-example: c1={o1,o2,o3}, c2={o1,o2,o4}, c3={o1,o3,o4},
+	// c4={o2,o3,o4}, kp=3, mp=2. The whole 4-cluster crowd is a gathering
+	// although neither ⟨c1,c2,c3⟩ nor ⟨c2,c3,c4⟩ is.
+	cr := mkCrowd([][]trajectory.ObjectID{
+		{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {2, 3, 4},
+	})
+	p := Params{KC: 3, KP: 3, MP: 2}
+	if _, ok := IsGathering(subCrowdForTest(cr, 0, 3), p); ok {
+		t.Fatal("⟨c1,c2,c3⟩ must not be a gathering")
+	}
+	if _, ok := IsGathering(subCrowdForTest(cr, 1, 4), p); ok {
+		t.Fatal("⟨c2,c3,c4⟩ must not be a gathering")
+	}
+	if _, ok := IsGathering(cr, p); !ok {
+		t.Fatal("the whole crowd must be a gathering")
+	}
+	for name, det := range map[string]func(*crowd.Crowd, Params) []*Gathering{
+		"brute": BruteForce, "tad": TAD, "tadstar": TADStar,
+	} {
+		got := gatherSig(det(cr, p))
+		if !reflect.DeepEqual(got, [][2]int{{0, 4}}) {
+			t.Fatalf("%s: %v", name, got)
+		}
+	}
+}
+
+func subCrowdForTest(cr *crowd.Crowd, lo, hi int) *crowd.Crowd {
+	return subCrowd(cr, lo, hi)
+}
+
+func TestParamsValidate(t *testing.T) {
+	if (Params{KC: 1, KP: 1, MP: 1}).Validate() != nil {
+		t.Fatal("valid params rejected")
+	}
+	for _, p := range []Params{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if p.Validate() == nil {
+			t.Fatalf("%+v accepted", p)
+		}
+	}
+}
+
+func TestShortCrowdYieldsNothing(t *testing.T) {
+	cr := mkCrowd([][]trajectory.ObjectID{{1, 2}, {1, 2}})
+	p := Params{KC: 3, KP: 1, MP: 1}
+	for _, det := range []func(*crowd.Crowd, Params) []*Gathering{BruteForce, TAD, TADStar} {
+		if got := det(cr, p); len(got) != 0 {
+			t.Fatalf("short crowd produced %v", gatherSig(got))
+		}
+	}
+}
+
+func TestWholeCrowdGathering(t *testing.T) {
+	// Stable membership: the whole crowd qualifies immediately.
+	cr := mkCrowd([][]trajectory.ObjectID{
+		{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3},
+	})
+	p := Params{KC: 3, KP: 5, MP: 3}
+	for _, det := range []func(*crowd.Crowd, Params) []*Gathering{BruteForce, TAD, TADStar} {
+		got := det(cr, p)
+		if len(got) != 1 || got[0].Lo != 0 || got[0].Hi != 5 {
+			t.Fatalf("got %v", gatherSig(got))
+		}
+	}
+}
+
+func TestMultipleDisjointGatherings(t *testing.T) {
+	// Two stable groups separated by a churn cluster with no repeat
+	// visitors: TAD must emit both sides.
+	cr := mkCrowd([][]trajectory.ObjectID{
+		{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, // gathering A
+		{91, 92, 93},                    // churn cluster (objects never recur)
+		{4, 5, 6}, {4, 5, 6}, {4, 5, 6}, // gathering B
+	})
+	p := Params{KC: 3, KP: 3, MP: 3}
+	want := [][2]int{{0, 3}, {4, 7}}
+	for name, det := range map[string]func(*crowd.Crowd, Params) []*Gathering{
+		"brute": BruteForce, "tad": TAD, "tadstar": TADStar,
+	} {
+		got := gatherSig(det(cr, p))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: %v, want %v", name, got, want)
+		}
+	}
+}
+
+// randCrowd generates a crowd with a pool of objects, churn, and a few
+// committed cores so that gatherings of varied structure appear.
+func randCrowd(r *rand.Rand, n, pool int) *crowd.Crowd {
+	members := make([][]trajectory.ObjectID, n)
+	for t := range members {
+		seen := map[trajectory.ObjectID]bool{}
+		k := 2 + r.Intn(5)
+		for len(seen) < k {
+			seen[trajectory.ObjectID(r.Intn(pool))] = true
+		}
+		for id := range seen {
+			members[t] = append(members[t], id)
+		}
+	}
+	return mkCrowd(members)
+}
+
+func TestDetectorsAgreeRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 150; trial++ {
+		cr := randCrowd(r, 4+r.Intn(10), 6+r.Intn(6))
+		p := Params{KC: 2 + r.Intn(3), KP: 1 + r.Intn(4), MP: 1 + r.Intn(4)}
+		want := gatherSig(BruteForce(cr, p))
+		gotTAD := gatherSig(TAD(cr, p))
+		gotStar := gatherSig(TADStar(cr, p))
+		if len(want) == 0 && len(gotTAD) == 0 && len(gotStar) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(gotTAD, want) {
+			t.Fatalf("trial %d %+v: TAD %v, brute %v", trial, p, gotTAD, want)
+		}
+		if !reflect.DeepEqual(gotStar, want) {
+			t.Fatalf("trial %d %+v: TAD* %v, brute %v", trial, p, gotStar, want)
+		}
+	}
+}
+
+func TestGatheringsAreClosedAndValid(t *testing.T) {
+	// Property: every output satisfies Definition 4, and growing it by one
+	// cluster on either side breaks it (Theorem 1).
+	r := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 100; trial++ {
+		cr := randCrowd(r, 5+r.Intn(8), 8)
+		p := Params{KC: 2, KP: 2, MP: 2}
+		for _, g := range TADStar(cr, p) {
+			if _, ok := IsGathering(subCrowdForTest(cr, g.Lo, g.Hi), p); !ok {
+				t.Fatalf("trial %d: output [%d,%d) is not a gathering", trial, g.Lo, g.Hi)
+			}
+			if g.Lo > 0 {
+				if _, ok := IsGathering(subCrowdForTest(cr, g.Lo-1, g.Hi), p); ok {
+					t.Fatalf("trial %d: [%d,%d) extendable left", trial, g.Lo, g.Hi)
+				}
+			}
+			if g.Hi < cr.Lifetime() {
+				if _, ok := IsGathering(subCrowdForTest(cr, g.Lo, g.Hi+1), p); ok {
+					t.Fatalf("trial %d: [%d,%d) extendable right", trial, g.Lo, g.Hi)
+				}
+			}
+		}
+	}
+}
+
+func TestRunIncrementalMatchesFullRecomputation(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 150; trial++ {
+		n := 6 + r.Intn(10)
+		cr := randCrowd(r, n, 8)
+		p := Params{KC: 2 + r.Intn(2), KP: 2, MP: 1 + r.Intn(3)}
+		oldLen := 2 + r.Intn(n-3)
+		oldCrowd := subCrowdForTest(cr, 0, oldLen)
+		oldGs := TADStar(oldCrowd, p)
+
+		want := gatherSig(TADStar(cr, p))
+		got := gatherSig(NewDetector(cr, p).RunIncremental(oldLen, oldGs))
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (oldLen=%d, %+v): incremental %v, full %v",
+				trial, oldLen, p, got, want)
+		}
+	}
+}
+
+func TestRunIncrementalReusesOldGatherings(t *testing.T) {
+	// Construct a crowd where the old prefix contains a gathering followed
+	// by an invalid cluster; the old gathering object must be returned
+	// as-is (pointer identity), not recomputed.
+	cr := mkCrowd([][]trajectory.ObjectID{
+		{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, // old gathering
+		{91, 92, 93},         // invalid forever (no recurrence)
+		{4, 5, 6}, {4, 5, 6}, // old tail, extended below
+		{4, 5, 6}, {4, 5, 6}, // new batch
+	})
+	p := Params{KC: 3, KP: 3, MP: 3}
+	oldLen := 6
+	oldGs := TADStar(subCrowdForTest(cr, 0, oldLen), p)
+	if len(oldGs) != 1 || oldGs[0].Lo != 0 || oldGs[0].Hi != 3 {
+		t.Fatalf("old gatherings = %v", gatherSig(oldGs))
+	}
+	got := NewDetector(cr, p).RunIncremental(oldLen, oldGs)
+	if len(got) != 2 {
+		t.Fatalf("incremental found %v", gatherSig(got))
+	}
+	if got[0] != oldGs[0] {
+		t.Fatal("old gathering was recomputed instead of reused")
+	}
+	if got[1].Lo != 4 || got[1].Hi != 8 {
+		t.Fatalf("extended gathering = [%d,%d)", got[1].Lo, got[1].Hi)
+	}
+}
+
+func TestEmptyCrowd(t *testing.T) {
+	cr := &crowd.Crowd{}
+	p := Params{KC: 1, KP: 1, MP: 1}
+	if got := TADStar(cr, p); len(got) != 0 {
+		t.Fatalf("empty crowd: %v", got)
+	}
+	if got := NewDetector(cr, p).RunIncremental(0, nil); len(got) != 0 {
+		t.Fatalf("empty crowd incremental: %v", got)
+	}
+}

@@ -1,0 +1,608 @@
+// Package gen synthesises city-scale taxi trajectories with the structure
+// the paper's evaluation relies on. The real evaluation used ~120K
+// trajectories of 33,000 Beijing taxis over 92 days (the proprietary
+// T-Drive dataset [16–18]); this generator reproduces the *behavioural*
+// features that drive every figure:
+//
+//   - free-roaming taxis moving between POI hot spots, with trip rates and
+//     destination bias depending on the time-of-day regime (peak / work /
+//     casual) and speeds scaled by weather (clear / rainy / snowy);
+//   - incidents (traffic jams, celebrations): durable dense areas with
+//     committed members that should be detected as gatherings;
+//   - drop-and-go sites (malls, restaurants): dense areas with full member
+//     churn that form crowds but must NOT become gatherings;
+//   - platoons: groups travelling together that produce swarms and
+//     convoys; in snowy weather platoons loosen and members drift, which
+//     breaks convoys but not swarms (the Fig. 5b asymmetry).
+//
+// Everything is driven by an explicit seed, so workloads are reproducible.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// Regime is a time-of-day traffic regime.
+type Regime int
+
+// Regimes, following the paper's split of a day: peak (6–10 am, 5–8 pm),
+// work (10 am – 5 pm) and casual (8 pm – 5 am).
+const (
+	Peak Regime = iota
+	Work
+	Casual
+)
+
+// String returns the regime name used in experiment tables.
+func (r Regime) String() string {
+	switch r {
+	case Peak:
+		return "peak"
+	case Work:
+		return "work"
+	case Casual:
+		return "casual"
+	}
+	return "unknown"
+}
+
+// RegimeOf maps a tick to its regime, treating ticksPerDay ticks as one
+// 24-hour day starting at midnight.
+func RegimeOf(tick, ticksPerDay int) Regime {
+	frac := float64(tick%ticksPerDay) / float64(ticksPerDay)
+	h := frac * 24
+	switch {
+	case h >= 6 && h < 10:
+		return Peak
+	case h >= 17 && h < 20:
+		return Peak
+	case h >= 10 && h < 17:
+		return Work
+	default:
+		return Casual
+	}
+}
+
+// Weather is a per-day weather condition.
+type Weather int
+
+// Weather conditions of Fig. 5b.
+const (
+	Clear Weather = iota
+	Rainy
+	Snowy
+)
+
+// String returns the weather name used in experiment tables.
+func (w Weather) String() string {
+	switch w {
+	case Clear:
+		return "clear"
+	case Rainy:
+		return "rainy"
+	case Snowy:
+		return "snowy"
+	}
+	return "unknown"
+}
+
+// speedFactor scales movement speed by weather (vehicles slow down in rain
+// and snow).
+func (w Weather) speedFactor() float64 {
+	switch w {
+	case Rainy:
+		return 0.7
+	case Snowy:
+		return 0.45
+	}
+	return 1.0
+}
+
+// Config parameterises a synthetic workload.
+type Config struct {
+	Seed        int64
+	NumTaxis    int
+	TicksPerDay int       // ticks per simulated day
+	Days        int       // number of days
+	Weather     []Weather // per day; shorter slices repeat Clear
+	AreaSize    float64   // side of the square city, metres
+	NumHotspots int       // POI hot spots taxis travel between
+
+	// Incident counts per day by regime. Jams create gatherings;
+	// drop-and-go sites create crowds without gatherings; platoons create
+	// swarms/convoys.
+	JamsPerRegime     [3]int
+	DropGoPerRegime   [3]int
+	PlatoonsPerRegime [3]int
+
+	// Incident shape knobs (defaults applied by Default/normalise).
+	JamDuration     int     // ticks a jam persists
+	JamCommitted    int     // committed members per jam (the participators)
+	JamChurn        int     // short-stay visitors per jam
+	DropGoDuration  int     // ticks a drop-and-go site stays busy
+	DropGoVisitors  int     // simultaneous visitors (all churn)
+	PlatoonSize     int     // objects per platoon
+	PlatoonDuration int     // ticks a platoon travels together
+	BaseSpeed       float64 // metres per tick in clear weather
+}
+
+// Default returns a laptop-scale configuration producing a workload whose
+// pattern counts exhibit the paper's Fig. 5 structure.
+func Default() Config {
+	return Config{
+		Seed:              1,
+		NumTaxis:          600,
+		TicksPerDay:       288, // one tick = 5 simulated minutes
+		Days:              1,
+		AreaSize:          20000,
+		NumHotspots:       12,
+		JamsPerRegime:     [3]int{6, 2, 1}, // peak ≫ work > casual
+		DropGoPerRegime:   [3]int{2, 2, 6}, // casual: malls/restaurants
+		PlatoonsPerRegime: [3]int{5, 1, 4}, // common destinations in peak/casual
+		JamDuration:       18,
+		JamCommitted:      12,
+		JamChurn:          10,
+		DropGoDuration:    25,
+		DropGoVisitors:    14,
+		PlatoonSize:       16,
+		PlatoonDuration:   16,
+		BaseSpeed:         400,
+	}
+}
+
+func (c Config) normalised() Config {
+	d := Default()
+	if c.NumTaxis == 0 {
+		c.NumTaxis = d.NumTaxis
+	}
+	if c.TicksPerDay == 0 {
+		c.TicksPerDay = d.TicksPerDay
+	}
+	if c.Days == 0 {
+		c.Days = 1
+	}
+	if c.AreaSize == 0 {
+		c.AreaSize = d.AreaSize
+	}
+	if c.NumHotspots == 0 {
+		c.NumHotspots = d.NumHotspots
+	}
+	if c.JamDuration == 0 {
+		c.JamDuration = d.JamDuration
+	}
+	if c.JamCommitted == 0 {
+		c.JamCommitted = d.JamCommitted
+	}
+	if c.JamChurn == 0 {
+		c.JamChurn = d.JamChurn
+	}
+	if c.DropGoDuration == 0 {
+		c.DropGoDuration = d.DropGoDuration
+	}
+	if c.DropGoVisitors == 0 {
+		c.DropGoVisitors = d.DropGoVisitors
+	}
+	if c.PlatoonSize == 0 {
+		c.PlatoonSize = d.PlatoonSize
+	}
+	if c.PlatoonDuration == 0 {
+		c.PlatoonDuration = d.PlatoonDuration
+	}
+	if c.BaseSpeed == 0 {
+		c.BaseSpeed = d.BaseSpeed
+	}
+	return c
+}
+
+// weatherOf returns the weather of a day.
+func (c Config) weatherOf(day int) Weather {
+	if day < len(c.Weather) {
+		return c.Weather[day]
+	}
+	return Clear
+}
+
+// Generate simulates the workload and returns a trajectory database with
+// one sample per tick per taxi (time unit = one tick).
+func Generate(cfg Config) *trajectory.DB {
+	cfg = cfg.normalised()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	ticks := cfg.TicksPerDay * cfg.Days
+
+	hotspots := make([]geo.Point, cfg.NumHotspots)
+	for i := range hotspots {
+		hotspots[i] = geo.Point{
+			X: (0.1 + 0.8*r.Float64()) * cfg.AreaSize,
+			Y: (0.1 + 0.8*r.Float64()) * cfg.AreaSize,
+		}
+	}
+
+	// pos[t*NumTaxis + i] is taxi i's location at tick t.
+	pos := make([]geo.Point, ticks*cfg.NumTaxis)
+
+	simulateFreeRoam(cfg, r, hotspots, pos, ticks)
+	applyPlatoons(cfg, r, hotspots, pos, ticks)
+	applyIncidents(cfg, r, hotspots, pos, ticks)
+
+	db := &trajectory.DB{
+		Domain: trajectory.TimeDomain{Start: 0, Step: 1, N: ticks},
+		Trajs:  make([]trajectory.Trajectory, cfg.NumTaxis),
+	}
+	for i := 0; i < cfg.NumTaxis; i++ {
+		tr := trajectory.Trajectory{
+			ID:      trajectory.ObjectID(i),
+			Samples: make([]trajectory.Sample, ticks),
+		}
+		for t := 0; t < ticks; t++ {
+			tr.Samples[t] = trajectory.Sample{Time: float64(t), P: pos[t*cfg.NumTaxis+i]}
+		}
+		db.Trajs[i] = tr
+	}
+	return db
+}
+
+// simulateFreeRoam drives every taxi between random hot spots with
+// regime-dependent trip behaviour and weather-dependent speed.
+func simulateFreeRoam(cfg Config, r *rand.Rand, hotspots []geo.Point, pos []geo.Point, ticks int) {
+	n := cfg.NumTaxis
+	cur := make([]geo.Point, n)
+	dst := make([]geo.Point, n)
+	dwell := make([]int, n)
+	for i := range cur {
+		cur[i] = geo.Point{X: r.Float64() * cfg.AreaSize, Y: r.Float64() * cfg.AreaSize}
+		dst[i] = pickDestination(cfg, r, hotspots, 0)
+	}
+	for t := 0; t < ticks; t++ {
+		day := t / cfg.TicksPerDay
+		w := cfg.weatherOf(day)
+		speed := cfg.BaseSpeed * w.speedFactor()
+		for i := 0; i < n; i++ {
+			if dwell[i] > 0 {
+				dwell[i]--
+			} else {
+				d := dst[i].Sub(cur[i])
+				dist := math.Hypot(d.X, d.Y)
+				if dist <= speed {
+					cur[i] = dst[i]
+					dwell[i] = 1 + r.Intn(3) // brief stop, then a new trip
+					dst[i] = pickDestination(cfg, r, hotspots, t)
+				} else {
+					step := d.Scale(speed / dist)
+					cur[i] = cur[i].Add(step)
+				}
+			}
+			// GPS jitter
+			p := cur[i]
+			p.X += r.NormFloat64() * 15
+			p.Y += r.NormFloat64() * 15
+			pos[t*n+i] = p
+		}
+	}
+}
+
+// pickDestination biases destinations: in peak and casual regimes taxis
+// head for hot spots (common destinations), during work hours they scatter
+// uniformly — the paper's explanation for the swarm/convoy counts of
+// Fig. 5a.
+func pickDestination(cfg Config, r *rand.Rand, hotspots []geo.Point, tick int) geo.Point {
+	reg := RegimeOf(tick, cfg.TicksPerDay)
+	hotspotBias := 0.8
+	if reg == Work {
+		hotspotBias = 0.3
+	}
+	if r.Float64() < hotspotBias {
+		h := hotspots[r.Intn(len(hotspots))]
+		return geo.Point{X: h.X + r.NormFloat64()*500, Y: h.Y + r.NormFloat64()*500}
+	}
+	return geo.Point{X: r.Float64() * cfg.AreaSize, Y: r.Float64() * cfg.AreaSize}
+}
+
+// regimeTicks returns the ticks of one day belonging to a regime.
+func regimeTicks(cfg Config, day int, reg Regime) []int {
+	var out []int
+	for t := 0; t < cfg.TicksPerDay; t++ {
+		if RegimeOf(t, cfg.TicksPerDay) == reg {
+			out = append(out, day*cfg.TicksPerDay+t)
+		}
+	}
+	return out
+}
+
+// applyIncidents injects jams (gatherings) and drop-and-go sites (crowds
+// without commitment) by overriding taxi positions. A busy matrix keeps
+// committed jam members from being stolen by later, overlapping incidents,
+// which would otherwise destroy their participator status.
+func applyIncidents(cfg Config, r *rand.Rand, hotspots []geo.Point, pos []geo.Point, ticks int) {
+	n := cfg.NumTaxis
+	busy := make([]bool, ticks*n)
+	jamSeq := 0
+	// freeAt[h] is the first tick at which hot spot h has no active jam;
+	// two jams at one hot spot must not overlap in time or their dense
+	// areas (and committed cores) would merge.
+	freeAt := make([]int, len(hotspots))
+	for day := 0; day < cfg.Days; day++ {
+		w := cfg.weatherOf(day)
+		jamFactor, accidentCount := 1.0, 0
+		switch w {
+		case Rainy:
+			jamFactor, accidentCount = 1.8, 3
+		case Snowy:
+			jamFactor, accidentCount = 3.0, 10
+		}
+		for reg := Peak; reg <= Casual; reg++ {
+			slots := regimeTicks(cfg, day, reg)
+			if len(slots) == 0 {
+				continue
+			}
+			jams := int(math.Round(float64(cfg.JamsPerRegime[reg]) * jamFactor))
+			for j := 0; j < jams; j++ {
+				start := regimeStart(slots, r, cfg.JamDuration)
+				// Assign the jam to a hot spot that is currently clear,
+				// delaying it when all are occupied: two overlapping jams
+				// at one hot spot would merge into a single dense area and
+				// fuse their committed cores into spurious large groups.
+				h := -1
+				for probe := 0; probe < len(hotspots); probe++ {
+					cand := (jamSeq + probe) % len(hotspots)
+					if freeAt[cand] <= start-2 {
+						h = cand
+						break
+					}
+				}
+				if h < 0 {
+					h = jamSeq % len(hotspots)
+					if freeAt[h]+2 < ticks {
+						start = freeAt[h] + 2
+					}
+				}
+				jamSeq++
+				freeAt[h] = start + cfg.JamDuration
+				site := jitter(r, hotspots[h], 800)
+				injectJam(cfg, r, pos, busy, n, ticks, start, site)
+			}
+			for j := 0; j < cfg.DropGoPerRegime[reg]; j++ {
+				start := regimeStart(slots, r, cfg.DropGoDuration)
+				injectDropGo(cfg, r, hotspots, pos, busy, n, ticks, start)
+			}
+		}
+		// Snow/rain accidents: brief dense blobs with full churn, the
+		// "minor accidents" behind the snowy crowd/gathering gap in
+		// Fig. 5b.
+		for a := 0; a < accidentCount; a++ {
+			start := day*cfg.TicksPerDay + r.Intn(cfg.TicksPerDay)
+			injectAccident(cfg, r, hotspots, pos, busy, n, ticks, start)
+		}
+	}
+}
+
+// regimeStart picks a start tick from the regime's slots such that an
+// incident of length dur stays inside the contiguous slot run containing
+// the start whenever the run is long enough — incidents crossing regime
+// boundaries are legitimate (the paper duplicates them into each period)
+// but should be the exception, not the rule.
+func regimeStart(slots []int, r *rand.Rand, dur int) int {
+	k := r.Intn(len(slots))
+	// find the contiguous run [lo, hi] of slots around k
+	lo, hi := k, k
+	for lo > 0 && slots[lo-1] == slots[lo]-1 {
+		lo--
+	}
+	for hi < len(slots)-1 && slots[hi+1] == slots[hi]+1 {
+		hi++
+	}
+	latest := hi - (dur - 1) // last index whose incident fits in the run
+	if latest <= lo {
+		return slots[lo]
+	}
+	if k > latest {
+		k = lo + r.Intn(latest-lo+1)
+	}
+	return slots[k]
+}
+
+// injectJam parks committed members at the jam site for most of the
+// duration (with occasional one-tick absences, exercising non-consecutive
+// participation) plus a stream of short-stay churners.
+func injectJam(cfg Config, r *rand.Rand, pos []geo.Point, busy []bool, n, ticks, start int, site geo.Point) {
+	dur := cfg.JamDuration
+	members := pickFreeTaxis(r, busy, n, ticks, start, dur, cfg.JamCommitted)
+	for k, i := range members {
+		// A quarter of the members take one short absence and return —
+		// participation must be allowed to be non-consecutive (kp), but
+		// absences are single windows, not per-tick coin flips: fully
+		// independent dropouts would make every member subset a distinct
+		// closed swarm and blow up the baseline pattern counts.
+		awayAt, awayLen := -1, 0
+		if k%4 == 0 && dur > 6 {
+			awayAt = start + 2 + r.Intn(dur-4)
+			awayLen = 1 + r.Intn(2)
+		}
+		for t := start; t < start+dur && t < ticks; t++ {
+			busy[t*n+i] = true
+			if awayAt >= 0 && t >= awayAt && t < awayAt+awayLen {
+				continue
+			}
+			pos[t*n+i] = jitter(r, site, 120)
+		}
+	}
+	for c := 0; c < cfg.JamChurn; c++ {
+		i := r.Intn(n)
+		at := start + r.Intn(max(1, dur-3))
+		stay := 2 + r.Intn(3)
+		for t := at; t < at+stay && t < ticks; t++ {
+			if !busy[t*n+i] {
+				pos[t*n+i] = jitter(r, site, 120)
+			}
+		}
+	}
+}
+
+// injectDropGo simulates a busy venue: at every tick of the window a fresh
+// set of taxis is present, each staying only 2–3 ticks. Density holds for
+// the whole window but nobody commits, so crowds form without gatherings.
+func injectDropGo(cfg Config, r *rand.Rand, hotspots []geo.Point, pos []geo.Point, busy []bool, n, ticks, start int) {
+	site := jitter(r, hotspots[r.Intn(len(hotspots))], 800)
+	dur := cfg.DropGoDuration
+	perTick := cfg.DropGoVisitors
+	for t := start; t < start+dur && t < ticks; t++ {
+		for v := 0; v < perTick/2; v++ {
+			i := r.Intn(n)
+			stay := 2 + r.Intn(2)
+			for u := t; u < t+stay && u < ticks && u < start+dur; u++ {
+				if !busy[u*n+i] {
+					pos[u*n+i] = jitter(r, site, 120)
+				}
+			}
+		}
+	}
+}
+
+// injectAccident creates a dense blob that persists just long enough to
+// register as a crowd but with full member churn, so it never stabilises
+// into a gathering — the paper's "minor accidents most vehicles bypass in
+// a short time" (Fig. 5b discussion).
+func injectAccident(cfg Config, r *rand.Rand, hotspots []geo.Point, pos []geo.Point, busy []bool, n, ticks, start int) {
+	site := jitter(r, hotspots[r.Intn(len(hotspots))], 1500)
+	dur := 12 + r.Intn(5)
+	perTick := cfg.DropGoVisitors / 2
+	for t := start; t < start+dur && t < ticks; t++ {
+		for v := 0; v < perTick; v++ {
+			i := r.Intn(n)
+			stay := 2 + r.Intn(2)
+			for u := t; u < t+stay && u < ticks && u < start+dur; u++ {
+				if !busy[u*n+i] {
+					pos[u*n+i] = jitter(r, site, 150)
+				}
+			}
+		}
+	}
+}
+
+// applyPlatoons makes groups of taxis travel together along straight
+// routes between hot spots. In bad weather more members peel off the
+// platoon early (permanent leavers): that breaks convoys — whose
+// intersection-based membership never recovers a leaver — while swarms,
+// which only need enough shared (possibly non-consecutive) ticks, survive.
+// Leave times are staggered prefixes rather than independent per-tick
+// events so the closed-swarm count stays realistic.
+func applyPlatoons(cfg Config, r *rand.Rand, hotspots []geo.Point, pos []geo.Point, ticks int) {
+	n := cfg.NumTaxis
+	for day := 0; day < cfg.Days; day++ {
+		w := cfg.weatherOf(day)
+		spacing := 60.0
+		leavers := 1
+		if w == Rainy {
+			spacing, leavers = 80, 2
+		}
+		if w == Snowy {
+			spacing, leavers = 110, 4
+		}
+		for reg := Peak; reg <= Casual; reg++ {
+			slots := regimeTicks(cfg, day, reg)
+			if len(slots) == 0 {
+				continue
+			}
+			for p := 0; p < cfg.PlatoonsPerRegime[reg]; p++ {
+				start := slots[r.Intn(len(slots))]
+				from := hotspots[r.Intn(len(hotspots))]
+				to := hotspots[r.Intn(len(hotspots))]
+				members := pickTaxis(r, n, cfg.PlatoonSize)
+				dur := cfg.PlatoonDuration
+				for k, i := range members {
+					offAngle := float64(k) * 2 * math.Pi / float64(len(members))
+					off := geo.Point{X: math.Cos(offAngle) * spacing, Y: math.Sin(offAngle) * spacing}
+					// The first `leavers` members leave at staggered
+					// times; in snowy weather the first leaver peels off
+					// early enough that no full-membership run reaches a
+					// convoy-grade consecutive stretch.
+					leaveAt := dur
+					if k < leavers {
+						first := dur / 2
+						if w == Snowy {
+							first = dur / 4
+						}
+						leaveAt = first + k*(dur-first)/(leavers+1)
+					}
+					for s := 0; s < dur && s < leaveAt; s++ {
+						t := start + s
+						if t >= ticks {
+							break
+						}
+						frac := float64(s) / float64(dur-1)
+						center := from.Lerp(to, frac)
+						p := center.Add(off)
+						p.X += r.NormFloat64() * 10
+						p.Y += r.NormFloat64() * 10
+						pos[t*n+i] = p
+					}
+				}
+			}
+		}
+	}
+}
+
+func jitter(r *rand.Rand, p geo.Point, s float64) geo.Point {
+	return geo.Point{X: p.X + r.NormFloat64()*s/3, Y: p.Y + r.NormFloat64()*s/3}
+}
+
+// pickFreeTaxis draws k distinct taxi indices that are not busy anywhere
+// in [start, start+dur); it falls back to busy taxis when too few are
+// free (tiny workloads).
+func pickFreeTaxis(r *rand.Rand, busy []bool, n, ticks, start, dur, k int) []int {
+	free := func(i int) bool {
+		for t := start; t < start+dur && t < ticks; t++ {
+			if busy[t*n+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if k > n {
+		k = n
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for tries := 0; len(out) < k && tries < 20*n; tries++ {
+		i := r.Intn(n)
+		if !seen[i] && free(i) {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	for len(out) < k { // fallback: accept busy taxis
+		i := r.Intn(n)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pickTaxis draws k distinct taxi indices.
+func pickTaxis(r *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		i := r.Intn(n)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

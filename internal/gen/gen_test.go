@@ -1,0 +1,164 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/dbscan"
+	"repro/internal/snapshot"
+	"repro/internal/trajectory"
+)
+
+func TestRegimeOf(t *testing.T) {
+	tpd := 288 // 5-minute ticks
+	hour := func(h float64) int { return int(h / 24 * float64(tpd)) }
+	cases := []struct {
+		h    float64
+		want Regime
+	}{
+		{0, Casual}, {5.5, Casual}, {6, Peak}, {9.9, Peak},
+		{10, Work}, {16.9, Work}, {17, Peak}, {19.9, Peak},
+		{20, Casual}, {23.9, Casual},
+	}
+	for _, c := range cases {
+		if got := RegimeOf(hour(c.h), tpd); got != c.want {
+			t.Errorf("hour %.1f: regime %v, want %v", c.h, got, c.want)
+		}
+	}
+	// second day wraps
+	if got := RegimeOf(tpd+hour(7), tpd); got != Peak {
+		t.Errorf("day 2 peak hour: %v", got)
+	}
+}
+
+func TestRegimeAndWeatherStrings(t *testing.T) {
+	if Peak.String() != "peak" || Work.String() != "work" || Casual.String() != "casual" {
+		t.Fatal("regime names")
+	}
+	if Clear.String() != "clear" || Rainy.String() != "rainy" || Snowy.String() != "snowy" {
+		t.Fatal("weather names")
+	}
+	if Regime(9).String() != "unknown" || Weather(9).String() != "unknown" {
+		t.Fatal("unknown names")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Default()
+	cfg.NumTaxis = 50
+	cfg.TicksPerDay = 48
+	cfg.Days = 2
+	db := Generate(cfg)
+	if db.NumObjects() != 50 {
+		t.Fatalf("taxis = %d", db.NumObjects())
+	}
+	if db.Domain.N != 96 {
+		t.Fatalf("ticks = %d", db.Domain.N)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range db.Trajs {
+		if len(db.Trajs[i].Samples) != 96 {
+			t.Fatalf("taxi %d has %d samples", i, len(db.Trajs[i].Samples))
+		}
+		for _, s := range db.Trajs[i].Samples {
+			// Positions may leave the nominal area slightly (jitter) but
+			// must stay same order of magnitude.
+			if s.P.X < -cfg.AreaSize || s.P.X > 2*cfg.AreaSize ||
+				s.P.Y < -cfg.AreaSize || s.P.Y > 2*cfg.AreaSize {
+				t.Fatalf("taxi %d escaped the city: %+v", i, s.P)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Default()
+	cfg.NumTaxis = 30
+	cfg.TicksPerDay = 48
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a.Trajs {
+		for k := range a.Trajs[i].Samples {
+			if a.Trajs[i].Samples[k] != b.Trajs[i].Samples[k] {
+				t.Fatalf("non-deterministic at taxi %d sample %d", i, k)
+			}
+		}
+	}
+	cfg.Seed = 2
+	c := Generate(cfg)
+	same := true
+	for i := range a.Trajs {
+		for k := range a.Trajs[i].Samples {
+			if a.Trajs[i].Samples[k] != c.Trajs[i].Samples[k] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateZeroConfigUsesDefaults(t *testing.T) {
+	db := Generate(Config{NumTaxis: 20, TicksPerDay: 24})
+	if db.Domain.N != 24 || db.NumObjects() != 20 {
+		t.Fatalf("defaults not applied: N=%d objs=%d", db.Domain.N, db.NumObjects())
+	}
+}
+
+func TestJamsProduceDenseDurableClusters(t *testing.T) {
+	// With jams injected, snapshot clustering must find clusters of at
+	// least JamCommitted objects persisting across many ticks somewhere.
+	cfg := Default()
+	cfg.NumTaxis = 300
+	cfg.TicksPerDay = 96
+	cfg.JamsPerRegime = [3]int{3, 1, 1}
+	db := Generate(cfg)
+	cdb := snapshot.Build(db, snapshot.Options{
+		DBSCAN: dbscan.Params{Eps: 200, MinPts: 5},
+	})
+	// count ticks having a cluster of size ≥ 10
+	dense := 0
+	for _, cs := range cdb.Clusters {
+		for _, c := range cs {
+			if c.Len() >= 10 {
+				dense++
+				break
+			}
+		}
+	}
+	if dense < 20 {
+		t.Fatalf("only %d ticks with dense clusters; jams not visible", dense)
+	}
+}
+
+func TestWeatherOfDefaultsClear(t *testing.T) {
+	cfg := Config{Weather: []Weather{Snowy}}
+	if cfg.weatherOf(0) != Snowy {
+		t.Fatal("day 0 weather")
+	}
+	if cfg.weatherOf(5) != Clear {
+		t.Fatal("missing days must default to clear")
+	}
+}
+
+func TestPickTaxisDistinct(t *testing.T) {
+	cfg := Default()
+	cfg.NumTaxis = 10
+	db := Generate(cfg) // smoke: generation must not loop forever with k ≈ n
+	_ = db
+}
+
+func TestSnapshotInterpolationConsistency(t *testing.T) {
+	// Samples are one per tick, so Snapshot must return all taxis at
+	// integer ticks.
+	cfg := Default()
+	cfg.NumTaxis = 40
+	cfg.TicksPerDay = 48
+	db := Generate(cfg)
+	snap := db.Snapshot(trajectory.Tick(10), nil)
+	if len(snap) != 40 {
+		t.Fatalf("snapshot has %d taxis", len(snap))
+	}
+}

@@ -1,0 +1,170 @@
+// Package geojson serialises discovery results — snapshot clusters,
+// crowds, gatherings and raw trajectories — as GeoJSON FeatureCollections
+// so they can be dropped onto any web map for inspection. Coordinates are
+// emitted verbatim (the library works in planar metres); callers with
+// geodetic data can pass a Projector to convert on the way out.
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/crowd"
+	"repro/internal/gathering"
+	"repro/internal/geo"
+	"repro/internal/snapshot"
+	"repro/internal/trajectory"
+)
+
+// Projector converts planar library coordinates to output coordinates
+// (typically lon/lat). The identity projection is used when nil.
+type Projector func(geo.Point) [2]float64
+
+func identity(p geo.Point) [2]float64 { return [2]float64{p.X, p.Y} }
+
+// Feature is one GeoJSON feature.
+type Feature struct {
+	Type       string         `json:"type"`
+	Geometry   geometry       `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type geometry struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+// FeatureCollection is a GeoJSON feature collection.
+type FeatureCollection struct {
+	Type     string    `json:"type"`
+	Features []Feature `json:"features"`
+}
+
+// NewFeatureCollection returns an empty collection ready for appends.
+func NewFeatureCollection() *FeatureCollection {
+	return &FeatureCollection{Type: "FeatureCollection"}
+}
+
+// Write renders the collection as JSON.
+func (fc *FeatureCollection) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(fc)
+}
+
+// AddCluster appends one snapshot cluster as a MultiPoint feature.
+func (fc *FeatureCollection) AddCluster(c *snapshot.Cluster, proj Projector) {
+	if proj == nil {
+		proj = identity
+	}
+	coords := make([][2]float64, len(c.Points))
+	for i, p := range c.Points {
+		coords[i] = proj(p)
+	}
+	fc.Features = append(fc.Features, Feature{
+		Type:     "Feature",
+		Geometry: geometry{Type: "MultiPoint", Coordinates: coords},
+		Properties: map[string]any{
+			"kind": "snapshot-cluster",
+			"tick": int(c.T),
+			"size": c.Len(),
+		},
+	})
+}
+
+// AddTrajectory appends a trajectory as a LineString feature.
+func (fc *FeatureCollection) AddTrajectory(tr *trajectory.Trajectory, proj Projector) {
+	if proj == nil {
+		proj = identity
+	}
+	coords := make([][2]float64, len(tr.Samples))
+	for i, s := range tr.Samples {
+		coords[i] = proj(s.P)
+	}
+	fc.Features = append(fc.Features, Feature{
+		Type:     "Feature",
+		Geometry: geometry{Type: "LineString", Coordinates: coords},
+		Properties: map[string]any{
+			"kind": "trajectory",
+			"id":   int(tr.ID),
+		},
+	})
+}
+
+// AddCrowd appends a crowd as a LineString connecting the centroids of its
+// snapshot clusters (the crowd's drift over time), with per-tick sizes in
+// the properties.
+func (fc *FeatureCollection) AddCrowd(cr *crowd.Crowd, proj Projector) {
+	if proj == nil {
+		proj = identity
+	}
+	coords := make([][2]float64, len(cr.Clusters))
+	sizes := make([]int, len(cr.Clusters))
+	for i, c := range cr.Clusters {
+		coords[i] = proj(c.MBR().Center())
+		sizes[i] = c.Len()
+	}
+	fc.Features = append(fc.Features, Feature{
+		Type:     "Feature",
+		Geometry: geometry{Type: "LineString", Coordinates: coords},
+		Properties: map[string]any{
+			"kind":      "crowd",
+			"startTick": int(cr.Start),
+			"endTick":   int(cr.End()),
+			"lifetime":  cr.Lifetime(),
+			"sizes":     sizes,
+		},
+	})
+}
+
+// AddGathering appends a gathering as a Polygon feature: the union MBR of
+// its clusters, with the participator list and time window as properties.
+func (fc *FeatureCollection) AddGathering(g *gathering.Gathering, proj Projector) {
+	if proj == nil {
+		proj = identity
+	}
+	box := geo.EmptyRect()
+	for _, c := range g.Crowd.Clusters {
+		box = box.Union(c.MBR())
+	}
+	ring := [][2]float64{
+		proj(geo.Point{X: box.MinX, Y: box.MinY}),
+		proj(geo.Point{X: box.MaxX, Y: box.MinY}),
+		proj(geo.Point{X: box.MaxX, Y: box.MaxY}),
+		proj(geo.Point{X: box.MinX, Y: box.MaxY}),
+		proj(geo.Point{X: box.MinX, Y: box.MinY}),
+	}
+	pars := make([]int, len(g.Participators))
+	for i, id := range g.Participators {
+		pars[i] = int(id)
+	}
+	fc.Features = append(fc.Features, Feature{
+		Type:     "Feature",
+		Geometry: geometry{Type: "Polygon", Coordinates: [][][2]float64{ring}},
+		Properties: map[string]any{
+			"kind":          "gathering",
+			"startTick":     int(g.Crowd.Start),
+			"endTick":       int(g.Crowd.End()),
+			"lifetime":      g.Lifetime(),
+			"participators": pars,
+		},
+	})
+}
+
+// Export writes all crowds and gatherings of a discovery result as one
+// feature collection.
+func Export(w io.Writer, crowds []*crowd.Crowd, gatherings [][]*gathering.Gathering, proj Projector) error {
+	if len(gatherings) != 0 && len(gatherings) != len(crowds) {
+		return fmt.Errorf("geojson: %d gathering groups for %d crowds", len(gatherings), len(crowds))
+	}
+	fc := NewFeatureCollection()
+	for i, cr := range crowds {
+		fc.AddCrowd(cr, proj)
+		if i < len(gatherings) {
+			for _, g := range gatherings[i] {
+				fc.AddGathering(g, proj)
+			}
+		}
+	}
+	return fc.Write(w)
+}

@@ -1,0 +1,326 @@
+// Package gridindex implements the paper's grid index for snapshot
+// clusters (§III-A2). The space is partitioned into square cells of side
+// δ·√2/2, so any two points inside one cell are at most δ apart. Each
+// indexed cluster keeps a cell list (the cells it occupies, with its points
+// bucketed per cell) and each cell keeps an inverted list of the clusters
+// covering it.
+//
+// RangeSearch finds, among the indexed clusters, those whose Hausdorff
+// distance to a query cluster is ≤ δ, in two phases:
+//
+//   - pruning: a candidate must overlap the affect region (Definition 5)
+//     of every cell of the query — otherwise some query point is provably
+//     farther than δ from the candidate;
+//   - refinement: points in cells shared by both clusters are within δ by
+//     construction; only points in the symmetric difference cells are
+//     verified, and each verification looks only at the other cluster's
+//     points inside the affect region of the point's cell.
+//
+// The refinement decides dH ≤ δ without ever computing the exact Hausdorff
+// distance. Because clusters occupy only a handful of cells, cell lists
+// are small sorted slices rather than hash maps, which keeps per-tick
+// construction cheap — the property the paper credits the grid index with.
+package gridindex
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/snapshot"
+)
+
+// Cell addresses one grid cell by its column/row indices.
+type Cell struct{ X, Y int32 }
+
+// key packs a cell into a map key.
+func (c Cell) key() int64 { return int64(c.X)<<32 | int64(uint32(c.Y)) }
+
+// CellSide returns the grid cell side used for variation threshold delta:
+// δ·√2/2, chosen so the diagonal of a cell is exactly δ.
+func CellSide(delta float64) float64 {
+	return delta * 0.7071067811865476 // √2/2
+}
+
+// cellPts is one entry of a cluster's cell list: the point indices falling
+// into the cell.
+type cellPts struct {
+	cell Cell
+	pts  []int32
+}
+
+// Decomposition is a cluster's cell list, sorted by cell key. Clusters
+// occupy few cells, so lookups are linear scans over a short slice.
+type Decomposition []cellPts
+
+// find returns the point bucket of cell c, or nil.
+func (d Decomposition) find(c Cell) []int32 {
+	for i := range d {
+		if d[i].cell == c {
+			return d[i].pts
+		}
+	}
+	return nil
+}
+
+// has reports whether the decomposition occupies cell c.
+func (d Decomposition) has(c Cell) bool { return d.find(c) != nil }
+
+// Decompose buckets the cluster's points by grid cell for cell side s.
+func Decompose(c *snapshot.Cluster, s float64) Decomposition {
+	var d Decomposition
+	for i, p := range c.Points {
+		cell := cellOf(p, s)
+		found := false
+		for j := range d {
+			if d[j].cell == cell {
+				d[j].pts = append(d[j].pts, int32(i))
+				found = true
+				break
+			}
+		}
+		if !found {
+			d = append(d, cellPts{cell: cell, pts: []int32{int32(i)}})
+		}
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i].cell.key() < d[j].cell.key() })
+	return d
+}
+
+func cellOf(p geo.Point, s float64) Cell {
+	return Cell{int32(floorDiv(p.X, s)), int32(floorDiv(p.Y, s))}
+}
+
+func floorDiv(v, s float64) int {
+	q := v / s
+	i := int(q)
+	if q < 0 && float64(i) != q {
+		i--
+	}
+	return i
+}
+
+// affectOffsets enumerates the cell offsets of the affect region
+// (Definition 5): |dx| ≤ 2, |dy| ≤ 2 and |dx|+|dy| < 4 — the 5×5 block
+// minus its four corners.
+var affectOffsets = buildAffectOffsets()
+
+func buildAffectOffsets() [][2]int32 {
+	var out [][2]int32
+	for dx := int32(-2); dx <= 2; dx++ {
+		for dy := int32(-2); dy <= 2; dy++ {
+			if abs32(dx)+abs32(dy) < 4 {
+				out = append(out, [2]int32{dx, dy})
+			}
+		}
+	}
+	return out
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AffectRegion appends the cells of AR(g) to dst and returns it.
+func AffectRegion(g Cell, dst []Cell) []Cell {
+	for _, o := range affectOffsets {
+		dst = append(dst, Cell{g.X + o[0], g.Y + o[1]})
+	}
+	return dst
+}
+
+// Index is a grid index over the snapshot clusters of one tick for a fixed
+// variation threshold δ. Because every tick shares the same δ, the same
+// grid geometry (origin and side) is used at all ticks — the paper notes
+// this is a construction-cost advantage over per-tick R-trees.
+type Index struct {
+	delta     float64
+	side      float64
+	clusters  []*snapshot.Cluster
+	decomp    []Decomposition
+	byCluster map[*snapshot.Cluster]int32
+	inv       map[int64][]int32 // cluster indices per occupied cell
+
+	// stamp marks candidates during generation; reused across RangeSearch
+	// calls (an Index serves one goroutine at a time, which is how
+	// Algorithm 1 uses it).
+	stamp []int32
+
+	// Candidates and Results accumulate pruning statistics: clusters that
+	// reached the refinement phase and clusters that passed it.
+	Candidates int
+	Results    int
+}
+
+// Build indexes clusters for variation threshold delta.
+func Build(clusters []*snapshot.Cluster, delta float64) *Index {
+	ix := &Index{
+		delta:     delta,
+		side:      CellSide(delta),
+		clusters:  clusters,
+		decomp:    make([]Decomposition, len(clusters)),
+		byCluster: make(map[*snapshot.Cluster]int32, len(clusters)),
+		inv:       make(map[int64][]int32, len(clusters)*4),
+	}
+	for i, c := range clusters {
+		d := Decompose(c, ix.side)
+		ix.decomp[i] = d
+		ix.byCluster[c] = int32(i)
+		for j := range d {
+			k := d[j].cell.key()
+			ix.inv[k] = append(ix.inv[k], int32(i))
+		}
+	}
+	ix.stamp = make([]int32, len(clusters))
+	return ix
+}
+
+// Len returns the number of indexed clusters.
+func (ix *Index) Len() int { return len(ix.clusters) }
+
+// Cluster returns the i-th indexed cluster.
+func (ix *Index) Cluster(i int32) *snapshot.Cluster { return ix.clusters[i] }
+
+// DecompositionOf returns the cached cell decomposition of an indexed
+// cluster. Because the grid geometry is identical at every tick (same δ,
+// same origin — §III-A2), a cluster's decomposition computed when its own
+// tick was indexed can be reused when the cluster later acts as a query
+// against the next tick's index.
+func (ix *Index) DecompositionOf(c *snapshot.Cluster) (Decomposition, bool) {
+	i, ok := ix.byCluster[c]
+	if !ok {
+		return nil, false
+	}
+	return ix.decomp[i], true
+}
+
+// RangeSearch returns the indices of all indexed clusters cj with
+// dH(q, cj) ≤ δ, decomposing the query on the fly.
+func (ix *Index) RangeSearch(q *snapshot.Cluster) []int32 {
+	return ix.RangeSearchDecomposed(q, Decompose(q, ix.side))
+}
+
+// RangeSearchDecomposed is RangeSearch with a caller-supplied query
+// decomposition (normally obtained from the previous tick's index via
+// DecompositionOf).
+func (ix *Index) RangeSearchDecomposed(q *snapshot.Cluster, qd Decomposition) []int32 {
+	if len(q.Points) == 0 || len(ix.clusters) == 0 {
+		return nil
+	}
+
+	// Pruning: a candidate must overlap the affect region of every query
+	// cell. Candidates are generated from the first query cell's affect
+	// region via the inverted lists; every further query cell then only
+	// filters that (small) candidate set with integer cell-offset tests —
+	// no hashing on the hot path.
+	g0 := qd[0].cell
+	var alive []int32
+	for _, o := range affectOffsets {
+		k := Cell{g0.X + o[0], g0.Y + o[1]}.key()
+		for _, cl := range ix.inv[k] {
+			if ix.stamp[cl] == 0 {
+				ix.stamp[cl] = 1
+				alive = append(alive, cl)
+			}
+		}
+	}
+	for _, cl := range alive {
+		ix.stamp[cl] = 0 // restore for the next search
+	}
+	for qi := 1; qi < len(qd) && len(alive) > 0; qi++ {
+		g := qd[qi].cell
+		keep := alive[:0]
+		for _, cl := range alive {
+			if decompIntersectsAR(ix.decomp[cl], g) {
+				keep = append(keep, cl)
+			}
+		}
+		alive = keep
+	}
+	ix.Candidates += len(alive)
+	var out []int32
+	for _, cl := range alive {
+		if ix.refine(q, qd, cl) {
+			out = append(out, cl)
+		}
+	}
+	ix.Results += len(out)
+	return out
+}
+
+// decompIntersectsAR reports whether any cell of d lies in the affect
+// region of g.
+func decompIntersectsAR(d Decomposition, g Cell) bool {
+	for i := range d {
+		dx := abs32(d[i].cell.X - g.X)
+		dy := abs32(d[i].cell.Y - g.Y)
+		if dx <= 2 && dy <= 2 && dx+dy < 4 {
+			return true
+		}
+	}
+	return false
+}
+
+// refine decides dH(q, clusters[cj]) ≤ δ using the symmetric-difference
+// rule of §III-A2.
+func (ix *Index) refine(q *snapshot.Cluster, qd Decomposition, cj int32) bool {
+	cd := ix.decomp[cj]
+	cand := ix.clusters[cj]
+
+	// Fast path: identical cell sets ⇒ every point shares a cell with a
+	// point of the other cluster ⇒ dH ≤ δ.
+	if sameCells(qd, cd) {
+		return true
+	}
+	// Points of q in cells not covered by the candidate.
+	for qi := range qd {
+		if cd.has(qd[qi].cell) {
+			continue
+		}
+		for _, pi := range qd[qi].pts {
+			if !nearAny(q.Points[pi], qd[qi].cell, cd, cand.Points, ix.delta) {
+				return false
+			}
+		}
+	}
+	// Points of the candidate in cells not covered by q.
+	for ci := range cd {
+		if qd.has(cd[ci].cell) {
+			continue
+		}
+		for _, pi := range cd[ci].pts {
+			if !nearAny(cand.Points[pi], cd[ci].cell, qd, q.Points, ix.delta) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nearAny reports whether p (living in cell g) has a neighbour at distance
+// ≤ delta among the points of other, looking only inside AR(g).
+func nearAny(p geo.Point, g Cell, other Decomposition, pts []geo.Point, delta float64) bool {
+	d2 := delta * delta
+	for _, o := range affectOffsets {
+		for _, pi := range other.find(Cell{g.X + o[0], g.Y + o[1]}) {
+			if p.Dist2(pts[pi]) <= d2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sameCells(a, b Decomposition) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].cell != b[i].cell {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+// Package incremental maintains closed crowds and closed gatherings under
+// periodic batch arrivals of new trajectory data (§III-C). Instead of
+// re-running discovery from scratch after each batch, a Store keeps
+//
+//   - the closed crowds found so far and their gatherings,
+//   - the saved candidate set CS: every cluster sequence that ends at the
+//     most recent tick — the only sequences a new batch can extend
+//     (Lemma 4).
+//
+// Appending a batch resumes Algorithm 1 from the saved candidates, and
+// gathering detection on extended crowds reuses the old crowd's gatherings
+// through the update rule of Theorem 2.
+package incremental
+
+import (
+	"fmt"
+
+	"repro/internal/crowd"
+	"repro/internal/gathering"
+	"repro/internal/snapshot"
+	"repro/internal/trajectory"
+)
+
+// Store is the incremental discovery state. Create one with New, feed it
+// cluster batches with Append, and read the current answer from Crowds and
+// Gatherings.
+type Store struct {
+	crowdParams  crowd.Params
+	gatherParams gathering.Params
+	newSearcher  func() crowd.Searcher
+
+	cdb *snapshot.CDB
+
+	// closed crowds whose last cluster is strictly before the most recent
+	// tick; they can never be extended again (Lemma 4).
+	interior        []*crowd.Crowd
+	interiorGathers [][]*gathering.Gathering
+
+	// candidates ending at the most recent tick (the set CS), including
+	// those long enough to currently count as closed crowds.
+	tail []*crowd.Crowd
+	// gatherings of tail members that are closed crowds, reused by the
+	// gathering update when the crowd is extended.
+	tailGathers map[*crowd.Crowd][]*gathering.Gathering
+}
+
+// New creates an empty store. newSearcher constructs a fresh range
+// searcher per Append (searchers carry per-sweep state).
+func New(cp crowd.Params, gp gathering.Params, newSearcher func() crowd.Searcher) (*Store, error) {
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	if err := gp.Validate(); err != nil {
+		return nil, err
+	}
+	if newSearcher == nil {
+		return nil, fmt.Errorf("incremental: nil searcher factory")
+	}
+	return &Store{
+		crowdParams:  cp,
+		gatherParams: gp,
+		newSearcher:  newSearcher,
+		cdb:          &snapshot.CDB{},
+		tailGathers:  map[*crowd.Crowd][]*gathering.Gathering{},
+	}, nil
+}
+
+// Ticks returns the number of ticks ingested so far.
+func (s *Store) Ticks() int { return s.cdb.Domain.N }
+
+// Append ingests one batch of snapshot clusters (ticks are renumbered to
+// follow the current domain) and brings crowds and gatherings up to date.
+func (s *Store) Append(batch *snapshot.CDB) {
+	oldN := trajectory.Tick(s.cdb.Domain.N)
+	if s.cdb.Domain.N == 0 {
+		s.cdb.Domain = trajectory.TimeDomain{Start: batch.Domain.Start, Step: batch.Domain.Step}
+	}
+	s.cdb.Append(batch)
+
+	res := crowd.DiscoverFrom(s.cdb, oldN, s.tail, s.crowdParams, s.newSearcher())
+
+	// Crowds that closed during this sweep before the new last tick become
+	// interior: they are final. Crowds still ending at the last tick stay
+	// in the tail and may be extended by the next batch; their gatherings
+	// are cached for the update rule.
+	lastTick := trajectory.Tick(s.cdb.Domain.N - 1)
+	newTailGathers := make(map[*crowd.Crowd][]*gathering.Gathering, len(res.Tail))
+	for _, cr := range res.Crowds {
+		gs := s.detect(cr, oldN)
+		if cr.End() < lastTick {
+			s.interior = append(s.interior, cr)
+			s.interiorGathers = append(s.interiorGathers, gs)
+		} else {
+			newTailGathers[cr] = gs
+		}
+	}
+	s.tail = res.Tail
+	s.tailGathers = newTailGathers
+}
+
+// detect finds the closed gatherings of cr, using the gathering update of
+// Theorem 2 when cr extends an old candidate with cached gatherings.
+func (s *Store) detect(cr *crowd.Crowd, oldN trajectory.Tick) []*gathering.Gathering {
+	origin := cr.Origin
+	if origin != nil && origin != cr {
+		if oldGs, ok := s.tailGathers[origin]; ok {
+			oldLen := origin.Lifetime()
+			return gathering.NewDetector(cr, s.gatherParams).RunIncremental(oldLen, oldGs)
+		}
+	}
+	if origin == cr {
+		// Unextended old candidate: its gatherings are unchanged.
+		if oldGs, ok := s.tailGathers[origin]; ok {
+			return oldGs
+		}
+	}
+	_ = oldN
+	return gathering.TADStar(cr, s.gatherParams)
+}
+
+// Crowds returns the current closed crowds: the interior ones plus every
+// tail candidate long enough to be a crowd.
+func (s *Store) Crowds() []*crowd.Crowd {
+	out := append([]*crowd.Crowd(nil), s.interior...)
+	for _, c := range s.tail {
+		if c.Lifetime() >= s.crowdParams.KC {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Gatherings returns the closed gatherings of every current closed crowd,
+// in the same order as Crowds.
+func (s *Store) Gatherings() [][]*gathering.Gathering {
+	out := append([][]*gathering.Gathering(nil), s.interiorGathers...)
+	for _, c := range s.tail {
+		if c.Lifetime() >= s.crowdParams.KC {
+			out = append(out, s.tailGathers[c])
+		}
+	}
+	return out
+}
+
+// FlatGatherings returns all current closed gatherings as one slice.
+func (s *Store) FlatGatherings() []*gathering.Gathering {
+	var out []*gathering.Gathering
+	for _, gs := range s.Gatherings() {
+		out = append(out, gs...)
+	}
+	return out
+}

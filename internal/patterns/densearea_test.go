@@ -1,0 +1,110 @@
+package patterns
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+func denseDB(ticks int, positions func(t int) []geo.Point) *trajectory.DB {
+	n := len(positions(0))
+	db := &trajectory.DB{Domain: trajectory.TimeDomain{Step: 1, N: ticks}}
+	for id := 0; id < n; id++ {
+		tr := trajectory.Trajectory{ID: trajectory.ObjectID(id)}
+		for t := 0; t < ticks; t++ {
+			tr.Samples = append(tr.Samples, trajectory.Sample{
+				Time: float64(t), P: positions(t)[id],
+			})
+		}
+		db.Trajs = append(db.Trajs, tr)
+	}
+	return db
+}
+
+func TestDenseAreasBasic(t *testing.T) {
+	// five objects packed into one cell, one object far away
+	db := denseDB(3, func(t int) []geo.Point {
+		return []geo.Point{
+			{X: 10, Y: 10}, {X: 12, Y: 11}, {X: 14, Y: 13}, {X: 11, Y: 15}, {X: 13, Y: 12},
+			{X: 500, Y: 500},
+		}
+	})
+	cells := DenseAreas(db, DenseAreaParams{CellSize: 100, Threshold: 5})
+	if len(cells) != 3 { // one dense cell per tick
+		t.Fatalf("%d dense cells", len(cells))
+	}
+	for _, c := range cells {
+		if c.Count != 5 || c.Col != 0 || c.Row != 0 {
+			t.Fatalf("cell = %+v", c)
+		}
+	}
+	rect := cells[0].CellRect(100)
+	if rect.MinX != 0 || rect.MaxX != 100 {
+		t.Fatalf("cell rect = %+v", rect)
+	}
+}
+
+func TestDenseAreasGridArtifact(t *testing.T) {
+	// The paper's first critique: a congregation straddling a cell border
+	// is invisible to the fixed grid even though it would form one DBSCAN
+	// cluster. Six objects centred on x=100 (the border of 100-wide
+	// cells): three per cell, threshold five → nothing reported.
+	db := denseDB(1, func(int) []geo.Point {
+		return []geo.Point{
+			{X: 97, Y: 10}, {X: 98, Y: 12}, {X: 99, Y: 14},
+			{X: 101, Y: 10}, {X: 102, Y: 12}, {X: 103, Y: 14},
+		}
+	})
+	cells := DenseAreas(db, DenseAreaParams{CellSize: 100, Threshold: 5})
+	if len(cells) != 0 {
+		t.Fatalf("border congregation reported: %+v", cells)
+	}
+}
+
+func TestDenseAreasDegenerateParams(t *testing.T) {
+	db := denseDB(1, func(int) []geo.Point { return []geo.Point{{X: 1, Y: 1}} })
+	if got := DenseAreas(db, DenseAreaParams{CellSize: 0, Threshold: 1}); got != nil {
+		t.Fatal("zero cell size accepted")
+	}
+	if got := DenseAreas(db, DenseAreaParams{CellSize: 10, Threshold: 0}); got != nil {
+		t.Fatal("zero threshold accepted")
+	}
+}
+
+func TestDenseAreasNegativeCoords(t *testing.T) {
+	db := denseDB(1, func(int) []geo.Point {
+		return []geo.Point{{X: -5, Y: -5}, {X: -6, Y: -4}, {X: -4, Y: -6}}
+	})
+	cells := DenseAreas(db, DenseAreaParams{CellSize: 100, Threshold: 3})
+	if len(cells) != 1 || cells[0].Col != -1 || cells[0].Row != -1 {
+		t.Fatalf("cells = %+v", cells)
+	}
+}
+
+func TestChurnDistinguishesIncidentsFromCrossings(t *testing.T) {
+	// Same density in both scenes, radically different churn — the
+	// paper's second critique of dense areas as an event model.
+	stable := []DenseCell{
+		{Objects: o(1, 2, 3, 4, 5)},
+		{Objects: o(1, 2, 3, 4, 5)},
+		{Objects: o(1, 2, 3, 4, 6)},
+	}
+	crossing := []DenseCell{
+		{Objects: o(1, 2, 3, 4, 5)},
+		{Objects: o(6, 7, 8, 9, 10)},
+		{Objects: o(11, 12, 13, 14, 15)},
+	}
+	cs := Churn(stable)
+	cc := Churn(crossing)
+	if !(cs < 0.4) {
+		t.Fatalf("stable churn = %v", cs)
+	}
+	if math.Abs(cc-1.0) > 1e-9 {
+		t.Fatalf("crossing churn = %v", cc)
+	}
+	if Churn(nil) != 0 || Churn(stable[:1]) != 0 {
+		t.Fatal("degenerate churn")
+	}
+}

@@ -1,0 +1,361 @@
+// Package rtree is an in-memory R-tree over axis-aligned rectangles,
+// supporting Guttman quadratic-split insertion, STR bulk loading, window
+// queries (the SR scheme of §III-A1), and the four-rectangle side query
+// used by the IR scheme (Lemma 3): a node is explored only if it
+// intersects all four δ-enlargements of the query MBR's sides.
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+const (
+	maxEntries = 16
+	minEntries = 6 // ≈ 40% of maxEntries
+)
+
+// Item is a stored rectangle with a caller-supplied identifier (e.g. the
+// index of a snapshot cluster within its tick's cluster set).
+type Item struct {
+	Rect geo.Rect
+	ID   int32
+}
+
+type entry struct {
+	rect  geo.Rect
+	child *node // nil at leaves
+	id    int32 // valid at leaves
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Tree is an R-tree. The zero value is an empty tree ready for Insert.
+// A Tree is safe for concurrent reads but not for concurrent writes.
+type Tree struct {
+	root *node
+	size int
+	path []pathEntry // descent path scratch, reused across Inserts
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds an item using Guttman's quadratic-split algorithm.
+func (t *Tree) Insert(it Item) {
+	if t.root == nil {
+		t.root = &node{leaf: true}
+	}
+	leaf := t.chooseLeaf(t.root, it.Rect)
+	leaf.entries = append(leaf.entries, entry{rect: it.Rect, id: it.ID})
+	t.size++
+	t.adjust(leaf)
+}
+
+// path tracking: chooseLeaf records the descent path so adjust can fix
+// bounding boxes and propagate splits without parent pointers.
+type pathEntry struct {
+	n   *node
+	idx int // index of the child entry taken in n
+}
+
+func (t *Tree) chooseLeaf(n *node, r geo.Rect) *node {
+	t.path = t.path[:0]
+	for !n.leaf {
+		best, bestIdx := -1.0, 0
+		for i := range n.entries {
+			e := &n.entries[i]
+			enlarged := e.rect.Union(r).Area() - e.rect.Area()
+			if best < 0 || enlarged < best ||
+				(enlarged == best && e.rect.Area() < n.entries[bestIdx].rect.Area()) {
+				best, bestIdx = enlarged, i
+			}
+		}
+		t.path = append(t.path, pathEntry{n, bestIdx})
+		n = n.entries[bestIdx].child
+	}
+	return n
+}
+
+// adjust recomputes ancestor boxes along the descent path and splits
+// overflowing nodes, propagating upward; a root split grows the tree by one
+// level.
+func (t *Tree) adjust(leaf *node) {
+	n := leaf
+	for lvl := len(t.path) - 1; ; lvl-- {
+		var split *node
+		if len(n.entries) > maxEntries {
+			split = quadraticSplit(n)
+		}
+		if lvl < 0 {
+			// n is the root
+			if split != nil {
+				newRoot := &node{leaf: false, entries: []entry{
+					{rect: bbox(n), child: n},
+					{rect: bbox(split), child: split},
+				}}
+				t.root = newRoot
+			}
+			return
+		}
+		parent := t.path[lvl].n
+		idx := t.path[lvl].idx
+		parent.entries[idx].rect = bbox(n)
+		if split != nil {
+			parent.entries = append(parent.entries, entry{rect: bbox(split), child: split})
+		}
+		n = parent
+	}
+}
+
+func bbox(n *node) geo.Rect {
+	r := geo.EmptyRect()
+	for i := range n.entries {
+		r = r.Union(n.entries[i].rect)
+	}
+	return r
+}
+
+// quadraticSplit removes roughly half the entries of n into a returned new
+// node using Guttman's quadratic seed selection.
+func quadraticSplit(n *node) *node {
+	es := n.entries
+	// pick seeds: the pair wasting the most area when combined
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			d := es[i].rect.Union(es[j].rect).Area() - es[i].rect.Area() - es[j].rect.Area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	g1 := []entry{es[s1]}
+	g2 := []entry{es[s2]}
+	r1, r2 := es[s1].rect, es[s2].rect
+	rest := make([]entry, 0, len(es)-2)
+	for i := range es {
+		if i != s1 && i != s2 {
+			rest = append(rest, es[i])
+		}
+	}
+	for len(rest) > 0 {
+		// force assignment when one group must take all remaining entries
+		if len(g1)+len(rest) <= minEntries {
+			g1 = append(g1, rest...)
+			for _, e := range rest {
+				r1 = r1.Union(e.rect)
+			}
+			break
+		}
+		if len(g2)+len(rest) <= minEntries {
+			g2 = append(g2, rest...)
+			for _, e := range rest {
+				r2 = r2.Union(e.rect)
+			}
+			break
+		}
+		// pick the entry with the greatest preference for one group
+		bestI, bestDiff := 0, -1.0
+		var d1b, d2b float64
+		for i, e := range rest {
+			d1 := r1.Union(e.rect).Area() - r1.Area()
+			d2 := r2.Union(e.rect).Area() - r2.Area()
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestI, d1b, d2b = diff, i, d1, d2
+			}
+		}
+		e := rest[bestI]
+		rest[bestI] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		if d1b < d2b || (d1b == d2b && len(g1) < len(g2)) {
+			g1 = append(g1, e)
+			r1 = r1.Union(e.rect)
+		} else {
+			g2 = append(g2, e)
+			r2 = r2.Union(e.rect)
+		}
+	}
+	n.entries = g1
+	return &node{leaf: n.leaf, entries: g2}
+}
+
+// BulkLoad builds a tree from items using Sort-Tile-Recursive packing; it
+// is the preferred constructor when all items are known up front (each
+// tick's clusters are).
+func BulkLoad(items []Item) *Tree {
+	t := &Tree{size: len(items)}
+	if len(items) == 0 {
+		return t
+	}
+	leaves := packLeaves(items)
+	level := leaves
+	for len(level) > 1 {
+		level = packNodes(level)
+	}
+	t.root = level[0]
+	return t
+}
+
+func packLeaves(items []Item) []*node {
+	its := append([]Item(nil), items...)
+	nSlices := sliceCount(len(its))
+	sort.Slice(its, func(i, j int) bool {
+		return its[i].Rect.Center().X < its[j].Rect.Center().X
+	})
+	var leaves []*node
+	per := (len(its) + nSlices - 1) / nSlices
+	for s := 0; s < len(its); s += per {
+		e := s + per
+		if e > len(its) {
+			e = len(its)
+		}
+		run := its[s:e]
+		sort.Slice(run, func(i, j int) bool {
+			return run[i].Rect.Center().Y < run[j].Rect.Center().Y
+		})
+		for o := 0; o < len(run); o += maxEntries {
+			oe := o + maxEntries
+			if oe > len(run) {
+				oe = len(run)
+			}
+			leaf := &node{leaf: true}
+			for _, it := range run[o:oe] {
+				leaf.entries = append(leaf.entries, entry{rect: it.Rect, id: it.ID})
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func packNodes(children []*node) []*node {
+	type boxed struct {
+		n *node
+		r geo.Rect
+	}
+	bs := make([]boxed, len(children))
+	for i, c := range children {
+		bs[i] = boxed{c, bbox(c)}
+	}
+	nSlices := sliceCount(len(bs))
+	sort.Slice(bs, func(i, j int) bool { return bs[i].r.Center().X < bs[j].r.Center().X })
+	var out []*node
+	per := (len(bs) + nSlices - 1) / nSlices
+	for s := 0; s < len(bs); s += per {
+		e := s + per
+		if e > len(bs) {
+			e = len(bs)
+		}
+		run := bs[s:e]
+		sort.Slice(run, func(i, j int) bool { return run[i].r.Center().Y < run[j].r.Center().Y })
+		for o := 0; o < len(run); o += maxEntries {
+			oe := o + maxEntries
+			if oe > len(run) {
+				oe = len(run)
+			}
+			n := &node{leaf: false}
+			for _, b := range run[o:oe] {
+				n.entries = append(n.entries, entry{rect: b.r, child: b.n})
+			}
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sliceCount returns ceil(sqrt(ceil(n/maxEntries))) vertical slices for STR.
+func sliceCount(n int) int {
+	pages := (n + maxEntries - 1) / maxEntries
+	s := 1
+	for s*s < pages {
+		s++
+	}
+	return s
+}
+
+// Search calls fn with the ID of every stored item whose rectangle
+// intersects window. Returning false from fn stops the search.
+func (t *Tree) Search(window geo.Rect, fn func(id int32) bool) {
+	if t.root == nil {
+		return
+	}
+	searchNode(t.root, window, fn)
+}
+
+func searchNode(n *node, w geo.Rect, fn func(id int32) bool) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Intersects(w) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.id) {
+				return false
+			}
+		} else if !searchNode(e.child, w, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchDSide reports item IDs that survive the IR pruning rule of Lemma 3:
+// each side of query is enlarged by delta into a rectangle, and a node (or
+// item) is examined only when its box intersects all four enlarged side
+// rectangles. Surviving items satisfy dside(query, item) ≤ delta, a
+// necessary condition for dH ≤ delta.
+func (t *Tree) SearchDSide(query geo.Rect, delta float64, fn func(id int32) bool) {
+	if t.root == nil {
+		return
+	}
+	sides := query.Sides()
+	var windows [4]geo.Rect
+	for i, s := range sides {
+		windows[i] = s.Expand(delta)
+	}
+	searchDSideNode(t.root, &windows, fn)
+}
+
+func searchDSideNode(n *node, ws *[4]geo.Rect, fn func(id int32) bool) bool {
+entries:
+	for i := range n.entries {
+		e := &n.entries[i]
+		for _, w := range ws {
+			if !e.rect.Intersects(w) {
+				continue entries
+			}
+		}
+		if n.leaf {
+			if !fn(e.id) {
+				return false
+			}
+		} else if !searchDSideNode(e.child, ws, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Depth returns the height of the tree (0 for empty, 1 for a root leaf).
+func (t *Tree) Depth() int {
+	d, n := 0, t.root
+	for n != nil {
+		d++
+		if n.leaf || len(n.entries) == 0 {
+			break
+		}
+		n = n.entries[0].child
+	}
+	return d
+}

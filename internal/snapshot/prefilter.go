@@ -1,0 +1,239 @@
+package snapshot
+
+import (
+	"sort"
+
+	"repro/internal/dbscan"
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// PrefilterOptions configure BuildPrefiltered, the CuTS-style [9]
+// acceleration of phase 1 the paper sketches in §III: use coarse per-window
+// geometry to partition objects into groups that could possibly co-cluster,
+// and run per-tick DBSCAN inside each group instead of over the whole
+// object set.
+type PrefilterOptions struct {
+	Options
+	// Window is the number of ticks per partitioning window.
+	Window int
+	// SimplifyEps, when > 0, computes the per-window bounding boxes from
+	// Douglas–Peucker-simplified trajectories (expanded by SimplifyEps)
+	// instead of the raw samples. This is cheaper on long dense
+	// trajectories but heuristic: DP bounds the perpendicular distance of
+	// points to the simplified path, not the time-synchronised deviation,
+	// so in adversarial data a group boundary could split a true cluster.
+	// The default (0) uses exact boxes and produces output identical to
+	// Build.
+	SimplifyEps float64
+}
+
+// BuildPrefiltered produces the same cluster database as Build (asserted
+// by property tests for SimplifyEps == 0) while clustering only within
+// groups of objects whose paths come close during each window:
+//
+//   - each object's positions during a window are bounded by the MBR of
+//     its samples inside the window plus its interpolated entry and exit
+//     positions (trajectories are piecewise linear, so the MBR is exact);
+//   - each box is expanded by Eps/2; two objects ever within Eps of each
+//     other during the window then have intersecting boxes, and a
+//     union-find over box intersection yields the groups;
+//   - density connection never crosses a distance > Eps, hence never
+//     crosses a group boundary, so per-group DBSCAN equals global DBSCAN.
+func BuildPrefiltered(db *trajectory.DB, opt PrefilterOptions) *CDB {
+	if opt.Window <= 0 {
+		opt.Window = 32
+	}
+	out := &CDB{
+		Domain:   db.Domain,
+		Clusters: make([][]*Cluster, db.Domain.N),
+	}
+	if db.Domain.N == 0 {
+		return out
+	}
+
+	// geometry used for boxes: raw or simplified trajectories
+	geom := db.Trajs
+	grow := opt.DBSCAN.Eps / 2
+	if opt.SimplifyEps > 0 {
+		geom = make([]trajectory.Trajectory, len(db.Trajs))
+		for i := range db.Trajs {
+			geom[i] = db.Trajs[i].Simplify(opt.SimplifyEps)
+		}
+		grow += opt.SimplifyEps
+	}
+
+	idToIdx := make(map[trajectory.ObjectID]int, len(db.Trajs))
+	for i := range db.Trajs {
+		idToIdx[db.Trajs[i].ID] = i
+	}
+
+	var snap []trajectory.ObjPoint
+	for lo := 0; lo < db.Domain.N; lo += opt.Window {
+		hi := lo + opt.Window
+		if hi > db.Domain.N {
+			hi = db.Domain.N
+		}
+		groups := windowGroups(db.Domain, geom, lo, hi, grow)
+		for t := lo; t < hi; t++ {
+			tick := trajectory.Tick(t)
+			snap = db.Snapshot(tick, snap)
+			out.Clusters[t] = clusterGrouped(tick, snap, groups, idToIdx, opt.Options)
+		}
+	}
+	return out
+}
+
+// windowGroups unions objects whose expanded window boxes intersect and
+// returns a group id per trajectory index (-1 when absent from the whole
+// window).
+func windowGroups(dom trajectory.TimeDomain, geom []trajectory.Trajectory, lo, hi int, grow float64) []int {
+	n := len(geom)
+	boxes := make([]geo.Rect, n)
+	present := make([]bool, n)
+	t0 := dom.TimeOf(trajectory.Tick(lo))
+	t1 := dom.TimeOf(trajectory.Tick(hi - 1))
+	for i := range geom {
+		r, ok := pathWindowBox(&geom[i], t0, t1)
+		if !ok {
+			continue
+		}
+		present[i] = true
+		boxes[i] = r.Expand(grow)
+	}
+
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// Sweep by MinX so only overlapping-in-X pairs are examined.
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if present[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return boxes[order[a]].MinX < boxes[order[b]].MinX
+	})
+	// active holds indices whose MaxX may still reach upcoming boxes,
+	// ordered by insertion; stale entries are dropped lazily.
+	var active []int
+	for _, i := range order {
+		keep := active[:0]
+		for _, j := range active {
+			if boxes[j].MaxX >= boxes[i].MinX {
+				keep = append(keep, j)
+				if boxes[i].Intersects(boxes[j]) {
+					ra, rb := find(i), find(j)
+					if ra != rb {
+						parent[ra] = rb
+					}
+				}
+			}
+		}
+		active = append(keep, i)
+	}
+
+	groups := make([]int, n)
+	for i := range groups {
+		if !present[i] {
+			groups[i] = -1
+		} else {
+			groups[i] = find(i)
+		}
+	}
+	return groups
+}
+
+// pathWindowBox bounds the trajectory's positions during [t0, t1]: the MBR
+// of its samples inside the window plus the interpolated entry and exit
+// positions. Trajectories are piecewise linear, so this is exact.
+func pathWindowBox(tr *trajectory.Trajectory, t0, t1 float64) (geo.Rect, bool) {
+	start, end, ok := tr.Lifespan()
+	if !ok || t1 < start || t0 > end {
+		return geo.EmptyRect(), false
+	}
+	r := geo.EmptyRect()
+	if p, ok := tr.LocationAt(maxf(t0, start)); ok {
+		r = r.ExtendPoint(p)
+	}
+	if p, ok := tr.LocationAt(minf(t1, end)); ok {
+		r = r.ExtendPoint(p)
+	}
+	for _, s := range tr.Samples {
+		if s.Time >= t0 && s.Time <= t1 {
+			r = r.ExtendPoint(s.P)
+		}
+	}
+	if r.IsEmpty() {
+		return r, false
+	}
+	return r, true
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// clusterGrouped runs DBSCAN per object group and merges the results into
+// the tick's cluster set, ordered deterministically by smallest object ID
+// so prefiltered and direct builds compare equal.
+func clusterGrouped(t trajectory.Tick, snap []trajectory.ObjPoint, groups []int, idToIdx map[trajectory.ObjectID]int, opt Options) []*Cluster {
+	if len(snap) == 0 {
+		return nil
+	}
+	buckets := map[int][]trajectory.ObjPoint{}
+	for _, op := range snap {
+		g := -1
+		if i, ok := idToIdx[op.ID]; ok {
+			g = groups[i]
+		}
+		if g >= 0 {
+			buckets[g] = append(buckets[g], op)
+		}
+	}
+	var clusters []*Cluster
+	for _, rows := range buckets {
+		pts := make([]geo.Point, len(rows))
+		for i, op := range rows {
+			pts[i] = op.P
+		}
+		labels := dbscan.Cluster(pts, opt.DBSCAN)
+		for _, idxs := range dbscan.Groups(labels) {
+			if len(idxs) < opt.MinSize {
+				continue
+			}
+			objs := make([]trajectory.ObjectID, len(idxs))
+			cpts := make([]geo.Point, len(idxs))
+			for k, i := range idxs {
+				objs[k] = rows[i].ID
+				cpts[k] = rows[i].P
+			}
+			clusters = append(clusters, NewCluster(t, objs, cpts))
+		}
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		return clusters[i].Objects[0] < clusters[j].Objects[0]
+	})
+	return clusters
+}

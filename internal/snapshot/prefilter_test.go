@@ -1,0 +1,164 @@
+package snapshot
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dbscan"
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// canonicalise renders a CDB's per-tick membership as sorted signatures so
+// builds with different cluster orderings compare equal.
+func canonicalise(cdb *CDB) [][]string {
+	out := make([][]string, len(cdb.Clusters))
+	for t, cs := range cdb.Clusters {
+		for _, c := range cs {
+			sig := ""
+			for _, id := range c.Objects {
+				sig += string(rune('A' + int(id)%64))
+				sig += string(rune('a' + (int(id)/64)%26))
+			}
+			out[t] = append(out[t], sig)
+		}
+		sort.Strings(out[t])
+	}
+	return out
+}
+
+// randomWalkDB builds a database of wandering objects with some converging
+// groups so clustering is non-trivial.
+func randomWalkDB(r *rand.Rand, nObj, ticks int) *trajectory.DB {
+	db := &trajectory.DB{Domain: trajectory.TimeDomain{Step: 1, N: ticks}}
+	for i := 0; i < nObj; i++ {
+		tr := trajectory.Trajectory{ID: trajectory.ObjectID(i)}
+		// a third of the objects hover around shared anchors
+		var x, y float64
+		anchored := i%3 == 0
+		if anchored {
+			x, y = float64(i%5)*300, float64(i%5)*300
+		} else {
+			x, y = r.Float64()*2000, r.Float64()*2000
+		}
+		for t := 0; t < ticks; t++ {
+			if anchored {
+				tr.Samples = append(tr.Samples, trajectory.Sample{
+					Time: float64(t),
+					P:    geo.Point{X: x + r.NormFloat64()*40, Y: y + r.NormFloat64()*40},
+				})
+			} else {
+				x += r.NormFloat64() * 80
+				y += r.NormFloat64() * 80
+				tr.Samples = append(tr.Samples, trajectory.Sample{
+					Time: float64(t), P: geo.Point{X: x, Y: y},
+				})
+			}
+		}
+		db.Trajs = append(db.Trajs, tr)
+	}
+	return db
+}
+
+func TestBuildPrefilteredEqualsBuild(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 10; trial++ {
+		db := randomWalkDB(r, 30+r.Intn(40), 20+r.Intn(30))
+		opt := Options{DBSCAN: dbscan.Params{Eps: 100, MinPts: 3}}
+		direct := Build(db, opt)
+		for _, window := range []int{1, 7, 32, 1000} {
+			pre := BuildPrefiltered(db, PrefilterOptions{Options: opt, Window: window})
+			if !reflect.DeepEqual(canonicalise(direct), canonicalise(pre)) {
+				t.Fatalf("trial %d window %d: prefiltered build differs", trial, window)
+			}
+		}
+	}
+}
+
+func TestBuildPrefilteredWithSimplificationOnSmoothData(t *testing.T) {
+	// Smooth trajectories: the DP-based grouping heuristic must still be
+	// exact here (documented caveat covers adversarial data only).
+	r := rand.New(rand.NewSource(137))
+	db := randomWalkDB(r, 50, 40)
+	opt := Options{DBSCAN: dbscan.Params{Eps: 100, MinPts: 3}}
+	direct := Build(db, opt)
+	pre := BuildPrefiltered(db, PrefilterOptions{
+		Options:     opt,
+		Window:      16,
+		SimplifyEps: 30,
+	})
+	if !reflect.DeepEqual(canonicalise(direct), canonicalise(pre)) {
+		t.Fatal("simplified prefilter differs on smooth data")
+	}
+}
+
+func TestBuildPrefilteredEmpty(t *testing.T) {
+	db := &trajectory.DB{Domain: trajectory.TimeDomain{Step: 1, N: 0}}
+	pre := BuildPrefiltered(db, PrefilterOptions{Options: Options{DBSCAN: dbscan.Params{Eps: 1, MinPts: 1}}})
+	if pre.NumClusters() != 0 {
+		t.Fatal("empty db produced clusters")
+	}
+}
+
+func TestBuildPrefilteredDefaultWindow(t *testing.T) {
+	r := rand.New(rand.NewSource(139))
+	db := randomWalkDB(r, 20, 10)
+	opt := Options{DBSCAN: dbscan.Params{Eps: 100, MinPts: 3}}
+	pre := BuildPrefiltered(db, PrefilterOptions{Options: opt}) // Window unset
+	direct := Build(db, opt)
+	if !reflect.DeepEqual(canonicalise(direct), canonicalise(pre)) {
+		t.Fatal("default-window prefilter differs")
+	}
+}
+
+func TestPathWindowBox(t *testing.T) {
+	tr := trajectory.Trajectory{ID: 0, Samples: []trajectory.Sample{
+		{Time: 0, P: geo.Point{X: 0, Y: 0}},
+		{Time: 10, P: geo.Point{X: 100, Y: 0}},
+		{Time: 20, P: geo.Point{X: 100, Y: 100}},
+	}}
+	// window fully inside the first segment: box spans the interpolated
+	// entry and exit only
+	r, ok := pathWindowBox(&tr, 2, 4)
+	if !ok {
+		t.Fatal("no box")
+	}
+	if r.MinX != 20 || r.MaxX != 40 || r.MinY != 0 || r.MaxY != 0 {
+		t.Fatalf("box = %+v", r)
+	}
+	// window outside lifespan
+	if _, ok := pathWindowBox(&tr, 30, 40); ok {
+		t.Fatal("box for dead window")
+	}
+	// window covering a vertex must include it
+	r, _ = pathWindowBox(&tr, 5, 15)
+	if !r.Contains(geo.Point{X: 100, Y: 0}) {
+		t.Fatalf("vertex not covered: %+v", r)
+	}
+}
+
+func TestWindowGroupsSeparation(t *testing.T) {
+	// two far-apart stationary pairs → two groups; expanding Eps enough
+	// merges them
+	mk := func(x float64, id trajectory.ObjectID) trajectory.Trajectory {
+		return trajectory.Trajectory{ID: id, Samples: []trajectory.Sample{
+			{Time: 0, P: geo.Point{X: x, Y: 0}},
+			{Time: 9, P: geo.Point{X: x, Y: 0}},
+		}}
+	}
+	geom := []trajectory.Trajectory{mk(0, 0), mk(10, 1), mk(1000, 2), mk(1010, 3)}
+	dom := trajectory.TimeDomain{Step: 1, N: 10}
+	groups := windowGroups(dom, geom, 0, 10, 50)
+	if groups[0] != groups[1] || groups[2] != groups[3] {
+		t.Fatalf("pairs not grouped: %v", groups)
+	}
+	if groups[0] == groups[2] {
+		t.Fatalf("far pairs merged: %v", groups)
+	}
+	groups = windowGroups(dom, geom, 0, 10, 600)
+	if groups[0] != groups[2] {
+		t.Fatalf("huge expansion should merge: %v", groups)
+	}
+}

@@ -1,0 +1,192 @@
+// Package snapshot produces and stores snapshot clusters (Definition 1):
+// the per-tick density-based clusters of object locations that are the
+// input to crowd discovery. It implements the first phase of the paper's
+// framework (§III): interpolate each trajectory onto the discrete time
+// domain, run DBSCAN at every tick, and emit the cluster database
+// CDB = {C_t1, ..., C_tn}.
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dbscan"
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// Cluster is one snapshot cluster: a maximal density-connected group of
+// object locations at a single tick. Objects and Points are parallel
+// slices; Objects is sorted ascending so membership tests are binary
+// searches and set operations are linear merges.
+type Cluster struct {
+	T       trajectory.Tick
+	Objects []trajectory.ObjectID
+	Points  []geo.Point
+
+	mbr geo.Rect // cached bounding box
+}
+
+// NewCluster builds a cluster from parallel object/point slices, sorting
+// both by object ID and caching the MBR. It copies nothing; callers hand
+// over ownership of the slices.
+func NewCluster(t trajectory.Tick, objs []trajectory.ObjectID, pts []geo.Point) *Cluster {
+	c := &Cluster{T: t, Objects: objs, Points: pts}
+	sort.Sort(byObject{c})
+	c.mbr = geo.MBR(pts)
+	return c
+}
+
+// byObject sorts a cluster's parallel slices by object ID.
+type byObject struct{ c *Cluster }
+
+func (s byObject) Len() int { return len(s.c.Objects) }
+func (s byObject) Less(i, j int) bool {
+	return s.c.Objects[i] < s.c.Objects[j]
+}
+func (s byObject) Swap(i, j int) {
+	s.c.Objects[i], s.c.Objects[j] = s.c.Objects[j], s.c.Objects[i]
+	s.c.Points[i], s.c.Points[j] = s.c.Points[j], s.c.Points[i]
+}
+
+// Len returns the number of objects in the cluster.
+func (c *Cluster) Len() int { return len(c.Objects) }
+
+// MBR returns the minimum bounding rectangle of the cluster's points.
+func (c *Cluster) MBR() geo.Rect { return c.mbr }
+
+// Contains reports whether object id is a member of the cluster.
+func (c *Cluster) Contains(id trajectory.ObjectID) bool {
+	i := sort.Search(len(c.Objects), func(i int) bool { return c.Objects[i] >= id })
+	return i < len(c.Objects) && c.Objects[i] == id
+}
+
+// String renders the cluster compactly for diagnostics.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("c(t=%d,n=%d)", c.T, len(c.Objects))
+}
+
+// CDB is the cluster database: for every tick of the domain, the set of
+// snapshot clusters found at that tick.
+type CDB struct {
+	Domain   trajectory.TimeDomain
+	Clusters [][]*Cluster // indexed by tick
+}
+
+// At returns the clusters at tick t (nil when t is out of range).
+func (db *CDB) At(t trajectory.Tick) []*Cluster {
+	if int(t) < 0 || int(t) >= len(db.Clusters) {
+		return nil
+	}
+	return db.Clusters[t]
+}
+
+// NumClusters returns the total cluster count across all ticks.
+func (db *CDB) NumClusters() int {
+	n := 0
+	for _, cs := range db.Clusters {
+		n += len(cs)
+	}
+	return n
+}
+
+// Slice returns a view of the tick range [from, from+n), re-indexed so the
+// first tick of the view is tick 0. Cluster T fields keep their original
+// values; only the container window moves.
+func (db *CDB) Slice(from trajectory.Tick, n int) *CDB {
+	d := db.Domain
+	d.Start = d.TimeOf(from)
+	d.N = n
+	return &CDB{Domain: d, Clusters: db.Clusters[from : int(from)+n]}
+}
+
+// Options configure CDB construction.
+type Options struct {
+	// DBSCAN holds the snapshot-clustering parameters (ε, m).
+	DBSCAN dbscan.Params
+	// MinSize drops clusters smaller than this many objects. Zero keeps
+	// everything; crowd discovery applies its own mc threshold anyway, so
+	// this is purely a memory/speed knob.
+	MinSize int
+	// Parallelism is the number of worker goroutines clustering ticks
+	// concurrently. Values < 2 mean sequential.
+	Parallelism int
+}
+
+// Build interpolates db onto its time domain and clusters every tick,
+// returning the cluster database. Ticks are independent, so with
+// Options.Parallelism > 1 they are processed by a worker pool.
+func Build(db *trajectory.DB, opt Options) *CDB {
+	out := &CDB{
+		Domain:   db.Domain,
+		Clusters: make([][]*Cluster, db.Domain.N),
+	}
+	if db.Domain.N == 0 {
+		return out
+	}
+	if opt.Parallelism < 2 {
+		var snap []trajectory.ObjPoint
+		for t := 0; t < db.Domain.N; t++ {
+			snap = db.Snapshot(trajectory.Tick(t), snap)
+			out.Clusters[t] = clusterSnapshot(trajectory.Tick(t), snap, opt)
+		}
+		return out
+	}
+
+	ticks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var snap []trajectory.ObjPoint
+			for t := range ticks {
+				snap = db.Snapshot(trajectory.Tick(t), snap)
+				out.Clusters[t] = clusterSnapshot(trajectory.Tick(t), snap, opt)
+			}
+		}()
+	}
+	for t := 0; t < db.Domain.N; t++ {
+		ticks <- t
+	}
+	close(ticks)
+	wg.Wait()
+	return out
+}
+
+// clusterSnapshot runs DBSCAN on one tick's snapshot and materialises the
+// resulting clusters.
+func clusterSnapshot(t trajectory.Tick, snap []trajectory.ObjPoint, opt Options) []*Cluster {
+	if len(snap) == 0 {
+		return nil
+	}
+	pts := make([]geo.Point, len(snap))
+	for i, op := range snap {
+		pts[i] = op.P
+	}
+	labels := dbscan.Cluster(pts, opt.DBSCAN)
+	groups := dbscan.Groups(labels)
+	clusters := make([]*Cluster, 0, len(groups))
+	for _, g := range groups {
+		if len(g) < opt.MinSize {
+			continue
+		}
+		objs := make([]trajectory.ObjectID, len(g))
+		cpts := make([]geo.Point, len(g))
+		for k, i := range g {
+			objs[k] = snap[i].ID
+			cpts[k] = snap[i].P
+		}
+		clusters = append(clusters, NewCluster(t, objs, cpts))
+	}
+	return clusters
+}
+
+// Append extends the CDB with the clusters of more ticks (the cluster-level
+// form of a trajectory batch arrival). The caller is responsible for tick
+// numbering consistency: batch tick 0 becomes tick len(db.Clusters).
+func (db *CDB) Append(batch *CDB) {
+	db.Clusters = append(db.Clusters, batch.Clusters...)
+	db.Domain = db.Domain.Extend(batch.Domain.N)
+}

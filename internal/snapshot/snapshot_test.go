@@ -1,0 +1,202 @@
+package snapshot
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dbscan"
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+func pt(x, y float64) geo.Point { return geo.Point{X: x, Y: y} }
+
+func TestNewClusterSortsAndCaches(t *testing.T) {
+	c := NewCluster(3,
+		[]trajectory.ObjectID{5, 1, 9},
+		[]geo.Point{pt(5, 0), pt(1, 0), pt(9, 0)})
+	if !reflect.DeepEqual(c.Objects, []trajectory.ObjectID{1, 5, 9}) {
+		t.Fatalf("objects not sorted: %v", c.Objects)
+	}
+	// points must follow their objects
+	if c.Points[0] != pt(1, 0) || c.Points[2] != pt(9, 0) {
+		t.Fatalf("points not permuted with objects: %v", c.Points)
+	}
+	if c.MBR() != (geo.Rect{MinX: 1, MinY: 0, MaxX: 9, MaxY: 0}) {
+		t.Fatalf("MBR = %v", c.MBR())
+	}
+	if c.T != 3 || c.Len() != 3 {
+		t.Fatalf("T=%d Len=%d", c.T, c.Len())
+	}
+}
+
+func TestClusterContains(t *testing.T) {
+	c := NewCluster(0,
+		[]trajectory.ObjectID{2, 4, 8},
+		[]geo.Point{pt(0, 0), pt(1, 1), pt(2, 2)})
+	for _, id := range []trajectory.ObjectID{2, 4, 8} {
+		if !c.Contains(id) {
+			t.Fatalf("Contains(%d) = false", id)
+		}
+	}
+	for _, id := range []trajectory.ObjectID{0, 3, 9} {
+		if c.Contains(id) {
+			t.Fatalf("Contains(%d) = true", id)
+		}
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	c := NewCluster(7, []trajectory.ObjectID{1}, []geo.Point{pt(0, 0)})
+	if got := c.String(); got != "c(t=7,n=1)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// makeDB builds a database with two well-separated groups of stationary
+// objects plus one wandering loner.
+func makeDB(nPerGroup, ticks int) *trajectory.DB {
+	db := &trajectory.DB{Domain: trajectory.TimeDomain{Start: 0, Step: 1, N: ticks}}
+	id := trajectory.ObjectID(0)
+	addStationary := func(x, y float64, jitter float64, r *rand.Rand) {
+		tr := trajectory.Trajectory{ID: id}
+		id++
+		for k := 0; k < ticks; k++ {
+			tr.Samples = append(tr.Samples, trajectory.Sample{
+				Time: float64(k),
+				P:    pt(x+r.Float64()*jitter, y+r.Float64()*jitter),
+			})
+		}
+		db.Trajs = append(db.Trajs, tr)
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < nPerGroup; i++ {
+		addStationary(0, 0, 5, r)
+	}
+	for i := 0; i < nPerGroup; i++ {
+		addStationary(1000, 1000, 5, r)
+	}
+	// loner far from both
+	tr := trajectory.Trajectory{ID: id}
+	for k := 0; k < ticks; k++ {
+		tr.Samples = append(tr.Samples, trajectory.Sample{
+			Time: float64(k), P: pt(500, float64(k)*10),
+		})
+	}
+	db.Trajs = append(db.Trajs, tr)
+	return db
+}
+
+func TestBuildSequential(t *testing.T) {
+	db := makeDB(10, 5)
+	cdb := Build(db, Options{DBSCAN: dbscan.Params{Eps: 20, MinPts: 3}})
+	if len(cdb.Clusters) != 5 {
+		t.Fatalf("%d tick entries, want 5", len(cdb.Clusters))
+	}
+	for tick, cs := range cdb.Clusters {
+		if len(cs) != 2 {
+			t.Fatalf("tick %d: %d clusters, want 2", tick, len(cs))
+		}
+		for _, c := range cs {
+			if c.Len() != 10 {
+				t.Fatalf("tick %d: cluster size %d, want 10", tick, c.Len())
+			}
+			if c.T != trajectory.Tick(tick) {
+				t.Fatalf("cluster tick %d stored under %d", c.T, tick)
+			}
+		}
+	}
+	if got := cdb.NumClusters(); got != 10 {
+		t.Fatalf("NumClusters = %d", got)
+	}
+}
+
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	db := makeDB(12, 8)
+	opt := Options{DBSCAN: dbscan.Params{Eps: 20, MinPts: 3}}
+	seq := Build(db, opt)
+	opt.Parallelism = 4
+	par := Build(db, opt)
+	if len(seq.Clusters) != len(par.Clusters) {
+		t.Fatalf("tick counts differ")
+	}
+	for tick := range seq.Clusters {
+		a, b := seq.Clusters[tick], par.Clusters[tick]
+		if len(a) != len(b) {
+			t.Fatalf("tick %d: %d vs %d clusters", tick, len(a), len(b))
+		}
+		for i := range a {
+			if !reflect.DeepEqual(a[i].Objects, b[i].Objects) {
+				t.Fatalf("tick %d cluster %d membership differs", tick, i)
+			}
+		}
+	}
+}
+
+func TestBuildMinSize(t *testing.T) {
+	db := makeDB(4, 3) // groups of 4
+	cdb := Build(db, Options{DBSCAN: dbscan.Params{Eps: 20, MinPts: 3}, MinSize: 5})
+	if got := cdb.NumClusters(); got != 0 {
+		t.Fatalf("MinSize filter kept %d clusters", got)
+	}
+}
+
+func TestBuildEmptyDomain(t *testing.T) {
+	db := &trajectory.DB{Domain: trajectory.TimeDomain{Step: 1, N: 0}}
+	cdb := Build(db, Options{DBSCAN: dbscan.Params{Eps: 1, MinPts: 1}})
+	if len(cdb.Clusters) != 0 || cdb.NumClusters() != 0 {
+		t.Fatal("empty domain produced clusters")
+	}
+}
+
+func TestCDBAtOutOfRange(t *testing.T) {
+	cdb := &CDB{Clusters: make([][]*Cluster, 3)}
+	if cdb.At(-1) != nil || cdb.At(3) != nil {
+		t.Fatal("out-of-range At returned non-nil")
+	}
+}
+
+func TestCDBSlice(t *testing.T) {
+	db := makeDB(8, 10)
+	cdb := Build(db, Options{DBSCAN: dbscan.Params{Eps: 20, MinPts: 3}})
+	v := cdb.Slice(4, 3)
+	if len(v.Clusters) != 3 || v.Domain.N != 3 {
+		t.Fatalf("Slice dims: %d clusters, N=%d", len(v.Clusters), v.Domain.N)
+	}
+	if v.Domain.Start != cdb.Domain.TimeOf(4) {
+		t.Fatalf("Slice start = %v", v.Domain.Start)
+	}
+	if !reflect.DeepEqual(v.Clusters[0], cdb.Clusters[4]) {
+		t.Fatal("Slice did not alias underlying clusters")
+	}
+}
+
+func TestCDBAppend(t *testing.T) {
+	db := makeDB(8, 4)
+	cdb := Build(db, Options{DBSCAN: dbscan.Params{Eps: 20, MinPts: 3}})
+	db2 := makeDB(8, 2)
+	batch := Build(db2, Options{DBSCAN: dbscan.Params{Eps: 20, MinPts: 3}})
+	cdb.Append(batch)
+	if cdb.Domain.N != 6 || len(cdb.Clusters) != 6 {
+		t.Fatalf("after append: N=%d len=%d", cdb.Domain.N, len(cdb.Clusters))
+	}
+}
+
+func TestBuildClustersAreMaximalAndDisjoint(t *testing.T) {
+	// Within one tick, clusters must not share objects (Definition 1 says
+	// snapshot clusters are maximal, so they are disjoint).
+	db := makeDB(15, 6)
+	cdb := Build(db, Options{DBSCAN: dbscan.Params{Eps: 25, MinPts: 3}})
+	for tick, cs := range cdb.Clusters {
+		seen := map[trajectory.ObjectID]bool{}
+		for _, c := range cs {
+			for _, id := range c.Objects {
+				if seen[id] {
+					t.Fatalf("tick %d: object %d in two clusters", tick, id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/gathering"
+	"repro/internal/geo"
+	"repro/internal/snapshot"
+	"repro/internal/trajectory"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P90 != 5 {
+		t.Fatalf("p90 = %v", s.P90)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.String() != "n=0" {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.P50 != 7 || s.P90 != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if q := quantile(sorted, 0.5); q != 50 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := quantile(sorted, 0.9); q != 90 {
+		t.Fatalf("p90 = %v", q)
+	}
+	if q := quantile(sorted, 0.01); q != 10 {
+		t.Fatalf("p1 = %v", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	_ = math.Pi
+}
+
+func mkCrowd(sizes ...int) *crowd.Crowd {
+	cr := &crowd.Crowd{Start: 0}
+	id := trajectory.ObjectID(0)
+	for t, n := range sizes {
+		objs := make([]trajectory.ObjectID, n)
+		pts := make([]geo.Point, n)
+		for i := range objs {
+			objs[i] = id
+			id++
+			pts[i] = geo.Point{X: float64(i), Y: 0}
+		}
+		cr.Clusters = append(cr.Clusters, snapshot.NewCluster(trajectory.Tick(t), objs, pts))
+	}
+	return cr
+}
+
+func TestBuildReport(t *testing.T) {
+	cr1 := mkCrowd(4, 4, 4)
+	cr2 := mkCrowd(6, 6)
+	g := &gathering.Gathering{
+		Crowd:         cr1,
+		Lo:            0,
+		Hi:            3,
+		Participators: []trajectory.ObjectID{0, 1},
+	}
+	rep := Build(
+		[]*crowd.Crowd{cr1, cr2},
+		[][]*gathering.Gathering{{g}, nil},
+	)
+	if rep.Crowds != 2 || rep.Gatherings != 1 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if rep.CrowdLifetime.N != 2 || rep.CrowdLifetime.Max != 3 {
+		t.Fatalf("crowd lifetime: %+v", rep.CrowdLifetime)
+	}
+	if rep.ClusterSize.N != 5 || rep.ClusterSize.Mean != (4*3+6*2)/5.0 {
+		t.Fatalf("cluster size: %+v", rep.ClusterSize)
+	}
+	if rep.Participators.Mean != 2 {
+		t.Fatalf("participators: %+v", rep.Participators)
+	}
+	if rep.CommitmentRatio.Mean != 0.5 {
+		t.Fatalf("commitment ratio: %+v", rep.CommitmentRatio)
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	if !strings.Contains(buf.String(), "closed gatherings:  1") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestObjectParticipationAndTop(t *testing.T) {
+	g1 := &gathering.Gathering{Participators: []trajectory.ObjectID{1, 2, 3}}
+	g2 := &gathering.Gathering{Participators: []trajectory.ObjectID{2, 3}}
+	g3 := &gathering.Gathering{Participators: []trajectory.ObjectID{3}}
+	gs := [][]*gathering.Gathering{{g1, g2}, {g3}}
+
+	counts := ObjectParticipation(gs)
+	want := map[trajectory.ObjectID]int{1: 1, 2: 2, 3: 3}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("counts = %v", counts)
+	}
+	top := TopParticipants(gs, 2)
+	if !reflect.DeepEqual(top, []trajectory.ObjectID{3, 2}) {
+		t.Fatalf("top = %v", top)
+	}
+	all := TopParticipants(gs, 10)
+	if len(all) != 3 {
+		t.Fatalf("top-10 = %v", all)
+	}
+	// tie-break by ID
+	g4 := &gathering.Gathering{Participators: []trajectory.ObjectID{5, 4}}
+	top = TopParticipants([][]*gathering.Gathering{{g4}}, 2)
+	if !reflect.DeepEqual(top, []trajectory.ObjectID{4, 5}) {
+		t.Fatalf("tie-break = %v", top)
+	}
+}

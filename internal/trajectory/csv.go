@@ -1,0 +1,97 @@
+package trajectory
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/geo"
+)
+
+// WriteCSV serialises the trajectories as CSV rows "id,time,x,y", one row
+// per sample, ordered by object then time. The header row is always
+// written. The time domain is not serialised; callers re-specify it when
+// reading (it is an analysis choice, not a property of the data).
+func WriteCSV(w io.Writer, trajs []Trajectory) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"id", "time", "x", "y"}); err != nil {
+		return err
+	}
+	row := make([]string, 4)
+	for i := range trajs {
+		tr := &trajs[i]
+		for _, s := range tr.Samples {
+			row[0] = strconv.Itoa(int(tr.ID))
+			row[1] = strconv.FormatFloat(s.Time, 'g', -1, 64)
+			row[2] = strconv.FormatFloat(s.P.X, 'g', -1, 64)
+			row[3] = strconv.FormatFloat(s.P.Y, 'g', -1, 64)
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses trajectories from the CSV format produced by WriteCSV.
+// Rows may arrive in any order; samples are grouped by id and sorted by
+// time. A header row is skipped when present.
+func ReadCSV(r io.Reader) ([]Trajectory, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.ReuseRecord = true
+
+	byID := make(map[ObjectID]*Trajectory)
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		if line == 1 && rec[0] == "id" {
+			continue // header
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad id %q: %w", line, rec[0], err)
+		}
+		t, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad time %q: %w", line, rec[1], err)
+		}
+		x, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad x %q: %w", line, rec[2], err)
+		}
+		y, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad y %q: %w", line, rec[3], err)
+		}
+		tr := byID[ObjectID(id)]
+		if tr == nil {
+			tr = &Trajectory{ID: ObjectID(id)}
+			byID[ObjectID(id)] = tr
+		}
+		tr.Samples = append(tr.Samples, Sample{Time: t, P: geo.Point{X: x, Y: y}})
+	}
+
+	out := make([]Trajectory, 0, len(byID))
+	for _, tr := range byID {
+		tr.SortSamples()
+		out = append(out, *tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

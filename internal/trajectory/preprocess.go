@@ -1,0 +1,143 @@
+package trajectory
+
+import (
+	"math"
+	"sort"
+)
+
+// Preprocessing utilities for raw trajectory data. The paper's data model
+// (§II) explicitly allows unsynchronised, irregular sampling and the
+// authors' companion work [18] deals with low-sampling-rate uncertainty;
+// these helpers cover the standard cleaning steps a deployment performs
+// before discovery: splitting at reporting gaps, dropping speed-impossible
+// fixes, and resampling onto a uniform rate.
+
+// SplitGaps splits a trajectory wherever consecutive samples are more than
+// maxGap time units apart, returning the resulting pieces (each at least
+// two samples long; shorter fragments are dropped). Linear interpolation
+// across a multi-hour GPS outage would otherwise fabricate locations, so
+// deployments split first and treat the pieces as separate lifespans.
+// Piece IDs are assigned by the caller via the idBase parameter: piece k
+// gets ID idBase+k.
+func SplitGaps(tr *Trajectory, maxGap float64, idBase ObjectID) []Trajectory {
+	if len(tr.Samples) < 2 {
+		return nil
+	}
+	var out []Trajectory
+	start := 0
+	flush := func(end int) {
+		if end-start >= 2 {
+			piece := Trajectory{
+				ID:      idBase + ObjectID(len(out)),
+				Samples: append([]Sample(nil), tr.Samples[start:end]...),
+			}
+			out = append(out, piece)
+		}
+		start = end
+	}
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i].Time-tr.Samples[i-1].Time > maxGap {
+			flush(i)
+		}
+	}
+	flush(len(tr.Samples))
+	return out
+}
+
+// FilterSpeedOutliers removes samples that imply a speed above maxSpeed
+// (units per time unit) relative to the previous retained sample — the
+// standard GPS glitch filter. The first sample is always kept. It returns
+// the number of samples dropped.
+func FilterSpeedOutliers(tr *Trajectory, maxSpeed float64) int {
+	if len(tr.Samples) < 2 {
+		return 0
+	}
+	kept := tr.Samples[:1]
+	dropped := 0
+	for _, s := range tr.Samples[1:] {
+		prev := kept[len(kept)-1]
+		dt := s.Time - prev.Time
+		if dt <= 0 {
+			dropped++
+			continue
+		}
+		if prev.P.Dist(s.P)/dt > maxSpeed {
+			dropped++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	tr.Samples = kept
+	return dropped
+}
+
+// Resample returns a copy of the trajectory sampled uniformly every step
+// time units across its lifespan, using linear interpolation. The paper's
+// pipeline discretises time this way before snapshot clustering.
+func Resample(tr *Trajectory, step float64) Trajectory {
+	out := Trajectory{ID: tr.ID}
+	start, end, ok := tr.Lifespan()
+	if !ok || step <= 0 {
+		return out
+	}
+	for t := start; t <= end+1e-9; t += step {
+		if p, ok := tr.LocationAt(math.Min(t, end)); ok {
+			out.Samples = append(out.Samples, Sample{Time: t, P: p})
+		}
+	}
+	return out
+}
+
+// Length returns the travelled path length of the trajectory.
+func Length(tr *Trajectory) float64 {
+	total := 0.0
+	for i := 1; i < len(tr.Samples); i++ {
+		total += tr.Samples[i-1].P.Dist(tr.Samples[i].P)
+	}
+	return total
+}
+
+// AverageSpeed returns the mean speed over the lifespan (path length over
+// elapsed time), or 0 for degenerate trajectories.
+func AverageSpeed(tr *Trajectory) float64 {
+	start, end, ok := tr.Lifespan()
+	if !ok || end <= start {
+		return 0
+	}
+	return Length(tr) / (end - start)
+}
+
+// SamplingStats describes the sampling intervals of a trajectory.
+type SamplingStats struct {
+	Samples   int
+	MeanGap   float64
+	MedianGap float64
+	MaxGap    float64
+	Span      float64 // lifespan length
+}
+
+// Sampling computes interval statistics, the first thing to inspect when
+// choosing the tick width for a dataset.
+func Sampling(tr *Trajectory) SamplingStats {
+	st := SamplingStats{Samples: len(tr.Samples)}
+	if len(tr.Samples) < 2 {
+		return st
+	}
+	gaps := make([]float64, 0, len(tr.Samples)-1)
+	for i := 1; i < len(tr.Samples); i++ {
+		gaps = append(gaps, tr.Samples[i].Time-tr.Samples[i-1].Time)
+	}
+	total := 0.0
+	for _, g := range gaps {
+		total += g
+		if g > st.MaxGap {
+			st.MaxGap = g
+		}
+	}
+	st.MeanGap = total / float64(len(gaps))
+	sort.Float64s(gaps)
+	st.MedianGap = gaps[len(gaps)/2]
+	start, end, _ := tr.Lifespan()
+	st.Span = end - start
+	return st
+}

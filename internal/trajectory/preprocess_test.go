@@ -1,0 +1,186 @@
+package trajectory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestSplitGaps(t *testing.T) {
+	tr := traj(0,
+		s(0, 0, 0), s(1, 1, 0), s(2, 2, 0),
+		s(100, 3, 0), s(101, 4, 0), // gap of 98
+		s(300, 5, 0), // lone trailing fix → fragment dropped
+	)
+	pieces := SplitGaps(&tr, 10, 100)
+	if len(pieces) != 2 {
+		t.Fatalf("%d pieces", len(pieces))
+	}
+	if pieces[0].ID != 100 || pieces[1].ID != 101 {
+		t.Fatalf("ids: %d %d", pieces[0].ID, pieces[1].ID)
+	}
+	if len(pieces[0].Samples) != 3 || len(pieces[1].Samples) != 2 {
+		t.Fatalf("piece sizes: %d %d", len(pieces[0].Samples), len(pieces[1].Samples))
+	}
+}
+
+func TestSplitGapsNoGap(t *testing.T) {
+	tr := traj(0, s(0, 0, 0), s(1, 1, 0))
+	pieces := SplitGaps(&tr, 10, 0)
+	if len(pieces) != 1 || len(pieces[0].Samples) != 2 {
+		t.Fatalf("pieces = %+v", pieces)
+	}
+	single := traj(0, s(0, 0, 0))
+	if got := SplitGaps(&single, 10, 0); got != nil {
+		t.Fatalf("single-sample split = %v", got)
+	}
+}
+
+func TestFilterSpeedOutliers(t *testing.T) {
+	tr := traj(0,
+		s(0, 0, 0),
+		s(1, 10, 0),   // speed 10 ok
+		s(2, 5000, 0), // teleport: dropped
+		s(3, 20, 0),   // vs last kept (t=1, x=10): speed 5 ok
+		s(3, 21, 0),   // duplicate timestamp: dropped
+		s(4, 25, 0),
+	)
+	dropped := FilterSpeedOutliers(&tr, 100)
+	if dropped != 2 {
+		t.Fatalf("dropped %d, want 2", dropped)
+	}
+	if len(tr.Samples) != 4 {
+		t.Fatalf("%d samples kept", len(tr.Samples))
+	}
+	for i := 1; i < len(tr.Samples); i++ {
+		dt := tr.Samples[i].Time - tr.Samples[i-1].Time
+		v := tr.Samples[i-1].P.Dist(tr.Samples[i].P) / dt
+		if v > 100 {
+			t.Fatalf("residual speed %v", v)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := traj(0, s(0, 0, 0), s(10, 100, 0))
+	rs := Resample(&tr, 2)
+	if len(rs.Samples) != 6 {
+		t.Fatalf("%d samples", len(rs.Samples))
+	}
+	for i, want := range []float64{0, 20, 40, 60, 80, 100} {
+		if math.Abs(rs.Samples[i].P.X-want) > 1e-9 {
+			t.Fatalf("sample %d at x=%v, want %v", i, rs.Samples[i].P.X, want)
+		}
+	}
+	// degenerate cases
+	if got := Resample(&Trajectory{}, 1); len(got.Samples) != 0 {
+		t.Fatal("resampled empty trajectory")
+	}
+	if got := Resample(&tr, 0); len(got.Samples) != 0 {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestResampleIrregularInput(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	tr := Trajectory{ID: 1}
+	tm := 0.0
+	for i := 0; i < 50; i++ {
+		tm += 0.1 + r.Float64()*3
+		tr.Samples = append(tr.Samples, s(tm, r.Float64()*100, r.Float64()*100))
+	}
+	rs := Resample(&tr, 1.0)
+	// uniform spacing
+	for i := 1; i < len(rs.Samples); i++ {
+		if math.Abs(rs.Samples[i].Time-rs.Samples[i-1].Time-1.0) > 1e-9 {
+			t.Fatalf("non-uniform gap at %d", i)
+		}
+	}
+	// every resampled point lies on the original polyline
+	for _, smp := range rs.Samples {
+		p, ok := tr.LocationAt(smp.Time)
+		if !ok || p.Dist(smp.P) > 1e-9 {
+			t.Fatalf("resampled point off polyline at t=%v", smp.Time)
+		}
+	}
+}
+
+func TestLengthAndAverageSpeed(t *testing.T) {
+	tr := traj(0, s(0, 0, 0), s(1, 3, 4), s(2, 3, 4))
+	if l := Length(&tr); math.Abs(l-5) > 1e-9 {
+		t.Fatalf("length = %v", l)
+	}
+	if v := AverageSpeed(&tr); math.Abs(v-2.5) > 1e-9 {
+		t.Fatalf("avg speed = %v", v)
+	}
+	empty := Trajectory{}
+	if AverageSpeed(&empty) != 0 || Length(&empty) != 0 {
+		t.Fatal("degenerate speed/length")
+	}
+	point := traj(0, s(5, 1, 1))
+	if AverageSpeed(&point) != 0 {
+		t.Fatal("single-sample speed")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := traj(0, s(0, 0, 0), s(1, 0, 0), s(3, 0, 0), s(10, 0, 0))
+	st := Sampling(&tr)
+	if st.Samples != 4 {
+		t.Fatalf("samples = %d", st.Samples)
+	}
+	if st.MaxGap != 7 {
+		t.Fatalf("max gap = %v", st.MaxGap)
+	}
+	if math.Abs(st.MeanGap-10.0/3) > 1e-9 {
+		t.Fatalf("mean gap = %v", st.MeanGap)
+	}
+	if st.MedianGap != 2 {
+		t.Fatalf("median gap = %v", st.MedianGap)
+	}
+	if st.Span != 10 {
+		t.Fatalf("span = %v", st.Span)
+	}
+	if got := Sampling(&Trajectory{}); got.Samples != 0 || got.MeanGap != 0 {
+		t.Fatalf("empty stats = %+v", got)
+	}
+}
+
+func TestPreprocessPipeline(t *testing.T) {
+	// realistic flow: noisy raw fixes → outlier filter → gap split →
+	// resample; the output must be clean uniform trajectories.
+	r := rand.New(rand.NewSource(43))
+	raw := Trajectory{ID: 0}
+	tm := 0.0
+	var x, y float64
+	for i := 0; i < 200; i++ {
+		tm += 0.5 + r.Float64()
+		if i == 100 {
+			tm += 500 // outage
+		}
+		x += r.NormFloat64() * 5
+		y += r.NormFloat64() * 5
+		p := geo.Point{X: x, Y: y}
+		if i%37 == 0 {
+			p.X += 1e6 // GPS glitch
+		}
+		raw.Samples = append(raw.Samples, Sample{Time: tm, P: p})
+	}
+	FilterSpeedOutliers(&raw, 1000)
+	pieces := SplitGaps(&raw, 60, 0)
+	if len(pieces) != 2 {
+		t.Fatalf("%d pieces after split", len(pieces))
+	}
+	for _, piece := range pieces {
+		rs := Resample(&piece, 1.0)
+		if len(rs.Samples) < 2 {
+			t.Fatal("resampled piece too short")
+		}
+		st := Sampling(&rs)
+		if math.Abs(st.MeanGap-1.0) > 1e-9 || st.MaxGap > 1.0+1e-9 {
+			t.Fatalf("resampled stats = %+v", st)
+		}
+	}
+}

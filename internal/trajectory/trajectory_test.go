@@ -1,0 +1,320 @@
+package trajectory
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func traj(id ObjectID, samples ...Sample) Trajectory {
+	return Trajectory{ID: id, Samples: samples}
+}
+
+func s(t, x, y float64) Sample { return Sample{Time: t, P: geo.Point{X: x, Y: y}} }
+
+func TestLifespan(t *testing.T) {
+	tr := traj(0, s(1, 0, 0), s(5, 1, 1))
+	a, b, ok := tr.Lifespan()
+	if !ok || a != 1 || b != 5 {
+		t.Fatalf("Lifespan = %v %v %v", a, b, ok)
+	}
+	empty := traj(1)
+	if _, _, ok := empty.Lifespan(); ok {
+		t.Fatal("empty trajectory has lifespan")
+	}
+}
+
+func TestLocationAtExactAndInterpolated(t *testing.T) {
+	tr := traj(0, s(0, 0, 0), s(10, 10, 20), s(20, 10, 20))
+	if p, ok := tr.LocationAt(0); !ok || p != (geo.Point{X: 0, Y: 0}) {
+		t.Fatalf("t=0: %v %v", p, ok)
+	}
+	if p, ok := tr.LocationAt(10); !ok || p != (geo.Point{X: 10, Y: 20}) {
+		t.Fatalf("t=10: %v %v", p, ok)
+	}
+	if p, ok := tr.LocationAt(5); !ok || p != (geo.Point{X: 5, Y: 10}) {
+		t.Fatalf("t=5 interpolation: %v %v", p, ok)
+	}
+	if p, ok := tr.LocationAt(15); !ok || p != (geo.Point{X: 10, Y: 20}) {
+		t.Fatalf("t=15 stationary: %v %v", p, ok)
+	}
+}
+
+func TestLocationAtOutsideLifespan(t *testing.T) {
+	tr := traj(0, s(5, 0, 0), s(10, 1, 1))
+	if _, ok := tr.LocationAt(4.9); ok {
+		t.Fatal("extrapolated before start")
+	}
+	if _, ok := tr.LocationAt(10.1); ok {
+		t.Fatal("extrapolated after end")
+	}
+	empty := traj(1)
+	if _, ok := empty.LocationAt(0); ok {
+		t.Fatal("empty trajectory returned location")
+	}
+}
+
+func TestLocationAtDuplicateTimestamps(t *testing.T) {
+	tr := traj(0, s(0, 0, 0), s(5, 3, 3), s(5, 9, 9), s(10, 9, 9))
+	p, ok := tr.LocationAt(5)
+	if !ok {
+		t.Fatal("no location at duplicate timestamp")
+	}
+	// Either sample at t=5 is acceptable; it must be one of them.
+	if p != (geo.Point{X: 3, Y: 3}) && p != (geo.Point{X: 9, Y: 9}) {
+		t.Fatalf("unexpected location %v", p)
+	}
+}
+
+func TestSortSamples(t *testing.T) {
+	tr := traj(0, s(5, 1, 1), s(1, 0, 0), s(3, 2, 2))
+	if tr.Sorted() {
+		t.Fatal("unsorted reported sorted")
+	}
+	tr.SortSamples()
+	if !tr.Sorted() {
+		t.Fatal("SortSamples did not sort")
+	}
+	if tr.Samples[0].Time != 1 || tr.Samples[2].Time != 5 {
+		t.Fatalf("bad order: %+v", tr.Samples)
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	tr := traj(7)
+	for i := 0; i <= 10; i++ {
+		tr.Samples = append(tr.Samples, s(float64(i), float64(i), 0))
+	}
+	out := tr.Simplify(0.1)
+	if out.ID != 7 {
+		t.Fatalf("ID lost: %d", out.ID)
+	}
+	if len(out.Samples) != 2 {
+		t.Fatalf("straight line simplified to %d samples", len(out.Samples))
+	}
+	if out.Samples[0].Time != 0 || out.Samples[1].Time != 10 {
+		t.Fatalf("endpoints wrong: %+v", out.Samples)
+	}
+}
+
+func TestTimeDomain(t *testing.T) {
+	d := TimeDomain{Start: 100, Step: 60, N: 10}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.TimeOf(0); got != 100 {
+		t.Fatalf("TimeOf(0) = %v", got)
+	}
+	if got := d.TimeOf(9); got != 640 {
+		t.Fatalf("TimeOf(9) = %v", got)
+	}
+	if got := d.End(); got != 640 {
+		t.Fatalf("End = %v", got)
+	}
+	e := d.Extend(5)
+	if e.N != 15 || e.Start != 100 {
+		t.Fatalf("Extend = %+v", e)
+	}
+	if (TimeDomain{Step: 0, N: 1}).Validate() == nil {
+		t.Fatal("zero step accepted")
+	}
+	if (TimeDomain{Step: 1, N: -1}).Validate() == nil {
+		t.Fatal("negative N accepted")
+	}
+	if (TimeDomain{Step: 1, N: 0}).End() != 0 {
+		t.Fatal("End of empty domain")
+	}
+}
+
+func TestDBValidate(t *testing.T) {
+	db := &DB{
+		Trajs:  []Trajectory{traj(0, s(0, 0, 0)), traj(1, s(0, 1, 1))},
+		Domain: TimeDomain{Step: 1, N: 2},
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db.Trajs = append(db.Trajs, traj(1, s(0, 2, 2)))
+	if db.Validate() == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	db.Trajs = []Trajectory{traj(0, s(5, 0, 0), s(1, 1, 1))}
+	if db.Validate() == nil {
+		t.Fatal("unsorted trajectory accepted")
+	}
+}
+
+func TestDBSnapshot(t *testing.T) {
+	db := &DB{
+		Trajs: []Trajectory{
+			traj(0, s(0, 0, 0), s(10, 10, 0)),
+			traj(1, s(5, 100, 100), s(10, 100, 100)),
+			traj(2, s(20, 0, 0), s(30, 1, 1)), // not alive early
+		},
+		Domain: TimeDomain{Start: 0, Step: 5, N: 7},
+	}
+	snap := db.Snapshot(0, nil)
+	if len(snap) != 1 || snap[0].ID != 0 {
+		t.Fatalf("tick 0 snapshot: %+v", snap)
+	}
+	snap = db.Snapshot(1, snap) // t = 5: objects 0 (interpolated) and 1
+	if len(snap) != 2 {
+		t.Fatalf("tick 1 snapshot: %+v", snap)
+	}
+	if snap[0].P != (geo.Point{X: 5, Y: 0}) {
+		t.Fatalf("interpolated point: %v", snap[0].P)
+	}
+	snap = db.Snapshot(6, snap) // t = 30: only object 2
+	if len(snap) != 1 || snap[0].ID != 2 {
+		t.Fatalf("tick 6 snapshot: %+v", snap)
+	}
+}
+
+func TestDBSubsetAndMaxID(t *testing.T) {
+	db := &DB{Trajs: []Trajectory{traj(3), traj(9), traj(5)}}
+	if got := db.MaxID(); got != 9 {
+		t.Fatalf("MaxID = %d", got)
+	}
+	sub := db.Subset(2)
+	if sub.NumObjects() != 2 {
+		t.Fatalf("Subset(2) has %d objects", sub.NumObjects())
+	}
+	if sub = db.Subset(100); sub.NumObjects() != 3 {
+		t.Fatalf("Subset(100) has %d objects", sub.NumObjects())
+	}
+	empty := &DB{}
+	if got := empty.MaxID(); got != -1 {
+		t.Fatalf("empty MaxID = %d", got)
+	}
+}
+
+func TestDBSliceTicks(t *testing.T) {
+	db := &DB{Domain: TimeDomain{Start: 0, Step: 2, N: 100}}
+	v := db.SliceTicks(10, 5)
+	if v.Domain.Start != 20 || v.Domain.N != 5 || v.Domain.Step != 2 {
+		t.Fatalf("SliceTicks domain = %+v", v.Domain)
+	}
+}
+
+func TestDBAppend(t *testing.T) {
+	db := &DB{
+		Trajs:  []Trajectory{traj(0, s(0, 0, 0), s(9, 9, 9))},
+		Domain: TimeDomain{Start: 0, Step: 1, N: 10},
+	}
+	batch := &DB{
+		Trajs: []Trajectory{
+			traj(0, s(10, 10, 10)),
+			traj(1, s(10, 0, 0)),
+		},
+		Domain: TimeDomain{Start: 10, Step: 1, N: 5},
+	}
+	if err := db.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if db.Domain.N != 15 {
+		t.Fatalf("domain N = %d", db.Domain.N)
+	}
+	if len(db.Trajs) != 2 {
+		t.Fatalf("trajectory count = %d", len(db.Trajs))
+	}
+	if got := len(db.Trajs[0].Samples); got != 3 {
+		t.Fatalf("object 0 has %d samples", got)
+	}
+	bad := &DB{Domain: TimeDomain{Step: 2}}
+	if err := db.Append(bad); err == nil {
+		t.Fatal("mismatched step accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	trajs := make([]Trajectory, 5)
+	for i := range trajs {
+		trajs[i].ID = ObjectID(i * 3)
+		for k := 0; k < 1+r.Intn(10); k++ {
+			trajs[i].Samples = append(trajs[i].Samples,
+				s(float64(k)*1.5, r.Float64()*1000, r.Float64()*1000))
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, trajs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trajs, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", trajs, got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"id,time,x,y\nfoo,1,2,3\n",
+		"id,time,x,y\n1,bar,2,3\n",
+		"id,time,x,y\n1,1,baz,3\n",
+		"id,time,x,y\n1,1,2,qux\n",
+		"id,time,x\n", // wrong field count in header is fine, but data row fails
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil && i < 4 {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestReadCSVNoHeaderAndUnordered(t *testing.T) {
+	in := "1,5,50,50\n0,0,1,2\n1,0,10,10\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("parsed %+v", got)
+	}
+	if got[1].Samples[0].Time != 0 || got[1].Samples[1].Time != 5 {
+		t.Fatalf("samples not time-sorted: %+v", got[1].Samples)
+	}
+}
+
+func TestInterpolationIsPiecewiseLinear(t *testing.T) {
+	// Property: for random trajectories and random query times inside the
+	// lifespan, the returned point lies on the segment between the two
+	// bracketing samples.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		tr := Trajectory{ID: 0}
+		tm := 0.0
+		for k := 0; k < 2+r.Intn(10); k++ {
+			tm += 0.1 + r.Float64()*5
+			tr.Samples = append(tr.Samples, s(tm, r.Float64()*100, r.Float64()*100))
+		}
+		start, end, _ := tr.Lifespan()
+		q := start + r.Float64()*(end-start)
+		p, ok := tr.LocationAt(q)
+		if !ok {
+			t.Fatalf("trial %d: no location inside lifespan", trial)
+		}
+		// find bracketing samples
+		var a, b Sample
+		for i := 0; i+1 < len(tr.Samples); i++ {
+			if tr.Samples[i].Time <= q && q <= tr.Samples[i+1].Time {
+				a, b = tr.Samples[i], tr.Samples[i+1]
+				break
+			}
+		}
+		d := geo.PointSegDist(p, a.P, b.P)
+		if d > 1e-6 {
+			t.Fatalf("trial %d: interpolated point off segment by %v", trial, d)
+		}
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatalf("trial %d: NaN point", trial)
+		}
+	}
+}
