@@ -14,8 +14,10 @@ import (
 	"testing"
 
 	"repro/internal/bitvec"
+	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/dbscan"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/gathering"
 	"repro/internal/gen"
@@ -36,6 +38,7 @@ var (
 	benchOnce sync.Once
 	benchDB   *trajectory.DB
 	benchCDB  *snapshot.CDB
+	denseDB   *trajectory.DB
 	denseCDB  *snapshot.CDB
 )
 
@@ -56,7 +59,8 @@ func benchSetup() {
 		g.JamChurn = 60
 		g.DropGoVisitors = 100
 		g.PlatoonSize = 40
-		denseCDB = snapshot.Build(gen.Generate(g), snapshot.Options{
+		denseDB = gen.Generate(g)
+		denseCDB = snapshot.Build(denseDB, snapshot.Options{
 			DBSCAN: dbscan.Params{Eps: 200, MinPts: 5},
 		})
 	})
@@ -215,6 +219,111 @@ func BenchmarkFig8bGatheringUpdate(b *testing.B) {
 		k := i % len(crowds)
 		gathering.NewDetector(crowds[k], gp).RunIncremental(216, olds[k])
 	}
+}
+
+// ---- streaming engine: sharded ingest and query -----------------------------
+
+// benchEnginePipeline matches benchCrowdParams/benchGatherParams so the
+// engine benches are comparable with the Fig. 8 incremental ones.
+func benchEnginePipeline() core.Config {
+	return core.Config{
+		Eps: 200, MinPts: 5,
+		MC: 10, KC: 10, Delta: 300,
+		KP: 8, MP: 8,
+		Searcher: "grid",
+	}
+}
+
+// benchEngineBatches slices the dense bench workload (large snapshot
+// clusters, the regime where sharding pays) into 12-tick batches.
+func benchEngineBatches() []*trajectory.DB {
+	benchSetup()
+	return denseDB.Batches(12)
+}
+
+// BenchmarkEngineIngestStoreBaseline is the single-Store reference: the
+// same batch stream applied synchronously to one incremental store.
+func BenchmarkEngineIngestStoreBaseline(b *testing.B) {
+	batches := benchEngineBatches()
+	pipe := benchEnginePipeline()
+	cp := crowd.Params{MC: pipe.MC, KC: pipe.KC, Delta: pipe.Delta}
+	gp := gathering.Params{KC: pipe.KC, KP: pipe.KP, MP: pipe.MP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store, err := incremental.New(cp, gp, pipe.SearcherFactory())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range batches {
+			store.Append(core.BuildCDB(batch, pipe))
+		}
+	}
+}
+
+func BenchmarkEngineIngestShards1(b *testing.B) { benchEngineIngest(b, 1) }
+func BenchmarkEngineIngestShards2(b *testing.B) { benchEngineIngest(b, 2) }
+func BenchmarkEngineIngestShards4(b *testing.B) { benchEngineIngest(b, 4) }
+func BenchmarkEngineIngestShards8(b *testing.B) { benchEngineIngest(b, 8) }
+
+// benchEngineIngest measures wall-clock ingest of the whole batch stream
+// with the object-hash partitioner (even shard load, so the measured
+// speed-up is the sharding/concurrency win, not placement luck).
+func benchEngineIngest(b *testing.B, shards int) {
+	batches := benchEngineBatches()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := engine.New(engine.Config{
+			Pipeline:    benchEnginePipeline(),
+			Shards:      shards,
+			Workers:     shards,
+			Partitioner: engine.ObjectHash{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range batches {
+			if err := eng.Append(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Flush()
+		eng.Close()
+	}
+}
+
+// BenchmarkEngineQuerySnapshot measures query latency against a loaded
+// engine, with concurrent readers sharing it (b.RunParallel).
+func BenchmarkEngineQuerySnapshot(b *testing.B) {
+	batches := benchEngineBatches()
+	eng, err := engine.New(engine.Config{
+		Pipeline:    benchEnginePipeline(),
+		Shards:      4,
+		Partitioner: engine.GridCell{CellSize: 3000},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	for _, batch := range batches {
+		if err := eng.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.Flush()
+	queries := []engine.Query{
+		{},
+		{GatheringsOnly: true},
+		{Window: &engine.TickWindow{From: 20, To: 100}},
+		{Bounds: &geo.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 10000}, GatheringsOnly: true},
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_ = eng.Snapshot(queries[i%len(queries)])
+			i++
+		}
+	})
 }
 
 // ---- ablations (DESIGN.md §5) ----------------------------------------------

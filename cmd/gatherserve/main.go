@@ -1,0 +1,266 @@
+// Command gatherserve tails a trajectory CSV into the streaming engine as
+// timed batches and serves the discovered crowds and gatherings over HTTP
+// as GeoJSON — the serving-path counterpart of the one-shot gatherfind.
+//
+// Usage:
+//
+//	gatherserve -in traj.csv [-ticks 288] [-step 1] [-batch 24] [-interval 0]
+//	            [-shards 0] [-workers 0] [-queue 0]
+//	            [-partition grid] [-cell 3000]
+//	            [-eps 200] [-minpts 5] [-mc 15] [-kc 20] [-delta 300]
+//	            [-kp 15] [-mp 10] [-searcher grid]
+//	            [-addr :8080] [-oneshot]
+//
+// The CSV is replayed in batches of -batch ticks, one every -interval
+// (immediately when zero), through the engine's bounded ingest queue.
+// While ingestion runs, the server answers:
+//
+//	GET /gatherings?from=0&to=100&bbox=minx,miny,maxx,maxy&limit=50
+//	    crowds that currently hold a closed gathering, as GeoJSON
+//	GET /crowds?...   every closed crowd, same filters
+//	GET /stats        ingest/query counters and the tick frontier
+//	GET /healthz      liveness
+//
+// With -oneshot the whole file is ingested, the gatherings GeoJSON is
+// written to stdout, and the process exits without serving.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	gatherings "repro"
+	"repro/internal/geo"
+	"repro/internal/geojson"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input trajectory CSV (required)")
+		ticks    = flag.Int("ticks", 288, "number of ticks in the analysis domain")
+		step     = flag.Float64("step", 1, "tick width in input time units")
+		batch    = flag.Int("batch", 24, "ticks per ingest batch")
+		interval = flag.Duration("interval", 0, "delay between batches (0 = replay at full speed)")
+
+		shards    = flag.Int("shards", 0, "engine shards (0 = one per CPU)")
+		workers   = flag.Int("workers", 0, "ingest workers (0 = one per shard)")
+		queue     = flag.Int("queue", 0, "ingest queue depth in shard tasks (0 = 4×shards)")
+		partition = flag.String("partition", "grid", "shard routing: grid (spatial cell) or hash (object ID)")
+		cell      = flag.Float64("cell", 0, "grid partition cell size in metres (0 = 10×delta)")
+
+		eps      = flag.Float64("eps", 200, "DBSCAN epsilon (metres)")
+		minpts   = flag.Int("minpts", 5, "DBSCAN density threshold m")
+		mc       = flag.Int("mc", 15, "crowd support threshold mc")
+		kc       = flag.Int("kc", 20, "crowd lifetime threshold kc (ticks)")
+		delta    = flag.Float64("delta", 300, "variation threshold delta (metres)")
+		kp       = flag.Int("kp", 15, "participator lifetime threshold kp (ticks)")
+		mp       = flag.Int("mp", 10, "gathering support threshold mp")
+		searcher = flag.String("searcher", "grid", "range search scheme: brute, sr, ir or grid")
+
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		oneshot = flag.Bool("oneshot", false, "ingest everything, print gatherings GeoJSON, exit")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	trajs, err := gatherings.ReadTrajectoriesCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(trajs) == 0 {
+		fatal(fmt.Errorf("no trajectories in %s", *in))
+	}
+	start := math.Inf(1)
+	for i := range trajs {
+		if s, _, ok := trajs[i].Lifespan(); ok && s < start {
+			start = s
+		}
+	}
+	db := &gatherings.DB{
+		Trajs:  trajs,
+		Domain: gatherings.TimeDomain{Start: start, Step: *step, N: *ticks},
+	}
+	if err := db.Validate(); err != nil {
+		fatal(err)
+	}
+	if *batch <= 0 {
+		fatal(fmt.Errorf("-batch must be > 0, got %d", *batch))
+	}
+
+	cfg := gatherings.DefaultEngineConfig()
+	cfg.Pipeline.Eps, cfg.Pipeline.MinPts = *eps, *minpts
+	cfg.Pipeline.MC, cfg.Pipeline.KC, cfg.Pipeline.Delta = *mc, *kc, *delta
+	cfg.Pipeline.KP, cfg.Pipeline.MP = *kp, *mp
+	cfg.Pipeline.Searcher = *searcher
+	// Zero flag values keep DefaultEngineConfig's resolution (one shard
+	// and worker per CPU, queue of 4×shards).
+	if *shards > 0 {
+		cfg.Shards = *shards
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *queue > 0 {
+		cfg.QueueDepth = *queue
+	}
+	cellSize := *cell
+	if cellSize == 0 {
+		cellSize = 10 * *delta
+	}
+	switch *partition {
+	case "grid":
+		cfg.Partitioner = gatherings.GridCellPartitioner{CellSize: cellSize}
+	case "hash":
+		cfg.Partitioner = gatherings.ObjectHashPartitioner{}
+	default:
+		fatal(fmt.Errorf("unknown partition scheme %q", *partition))
+	}
+
+	eng, err := gatherings.NewEngine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	ingestDone := make(chan struct{})
+	go func() {
+		defer close(ingestDone)
+		for _, b := range db.Batches(*batch) {
+			if err := eng.Append(b); err != nil {
+				log.Printf("ingest: %v", err)
+				return
+			}
+			if *interval > 0 {
+				time.Sleep(*interval)
+			}
+		}
+		eng.Flush()
+		log.Printf("ingest done: %d ticks applied", eng.Ticks())
+	}()
+
+	if *oneshot {
+		<-ingestDone
+		res := eng.Snapshot(gatherings.EngineQuery{GatheringsOnly: true})
+		if err := geojson.Export(os.Stdout, res.Crowds, res.Gatherings, nil); err != nil {
+			fatal(err)
+		}
+		eng.Close()
+		return
+	}
+
+	http.HandleFunc("/gatherings", func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(w, r, eng, true)
+	})
+	http.HandleFunc("/crowds", func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(w, r, eng, false)
+	})
+	http.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ticks applied:       %d\n", eng.Ticks())
+		eng.Counters().Snapshot().Fprint(w)
+	})
+	http.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	log.Printf("serving on %s (%d shards, %q partitioner)", *addr, cfg.Shards, *partition)
+	if err := http.ListenAndServe(*addr, nil); err != nil {
+		fatal(err)
+	}
+}
+
+// serveQuery parses the filter parameters, runs one snapshot query and
+// writes the answer as GeoJSON.
+func serveQuery(w http.ResponseWriter, r *http.Request, eng *gatherings.Engine, gatheringsOnly bool) {
+	q := gatherings.EngineQuery{GatheringsOnly: gatheringsOnly}
+
+	if from, to, ok, err := parseWindow(r); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	} else if ok {
+		q.Window = &gatherings.TickWindow{From: from, To: to}
+	}
+	if bbox := r.FormValue("bbox"); bbox != "" {
+		rect, err := parseBBox(bbox)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q.Bounds = &rect
+	}
+	if lim := r.FormValue("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		q.Limit = n
+	}
+
+	res := eng.Snapshot(q)
+	w.Header().Set("Content-Type", "application/geo+json")
+	if err := geojson.Export(w, res.Crowds, res.Gatherings, nil); err != nil {
+		log.Printf("query: %v", err)
+	}
+}
+
+// parseWindow reads from/to tick bounds; either may be omitted, and a
+// missing side defaults to the open end of the ingested range.
+func parseWindow(r *http.Request) (from, to gatherings.Tick, ok bool, err error) {
+	fs, ts := r.FormValue("from"), r.FormValue("to")
+	if fs == "" && ts == "" {
+		return 0, 0, false, nil
+	}
+	to = gatherings.Tick(math.MaxInt32)
+	if fs != "" {
+		n, err := strconv.Atoi(fs)
+		if err != nil {
+			return 0, 0, false, fmt.Errorf("bad from tick %q", fs)
+		}
+		from = gatherings.Tick(n)
+	}
+	if ts != "" {
+		n, err := strconv.Atoi(ts)
+		if err != nil {
+			return 0, 0, false, fmt.Errorf("bad to tick %q", ts)
+		}
+		to = gatherings.Tick(n)
+	}
+	return from, to, true, nil
+}
+
+// parseBBox parses "minx,miny,maxx,maxy".
+func parseBBox(s string) (geo.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geo.Rect{}, fmt.Errorf("bbox wants minx,miny,maxx,maxy, got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geo.Rect{}, fmt.Errorf("bad bbox coordinate %q", p)
+		}
+		v[i] = f
+	}
+	return geo.Rect{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gatherserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+package gatherings
+
+import (
+	"runtime"
+
+	"repro/internal/engine"
+)
+
+// The streaming engine: a thread-safe, sharded service over the §III-C
+// incremental algorithm. An Engine ingests trajectory batches through a
+// bounded queue and worker pool while answering snapshot queries for the
+// current closed crowds and gatherings, filtered by time window and
+// bounding box. See EngineConfig for the sharding and concurrency knobs.
+type (
+	// Engine is the concurrent streaming-discovery service.
+	Engine = engine.Engine
+	// EngineConfig configures sharding, the worker pool, the bounded
+	// ingest queue and the partitioner.
+	EngineConfig = engine.Config
+	// EngineQuery selects crowds and gatherings from an engine snapshot;
+	// the zero value matches everything.
+	EngineQuery = engine.Query
+	// EngineResult is one snapshot answer (crowds with their gatherings).
+	EngineResult = engine.Result
+	// TickWindow is an inclusive tick interval for EngineQuery.
+	TickWindow = engine.TickWindow
+
+	// Partitioner routes trajectories to engine shards.
+	Partitioner = engine.Partitioner
+	// ObjectHashPartitioner shards uniformly by object ID (tenant-style
+	// isolation; spatial density splits across shards).
+	ObjectHashPartitioner = engine.ObjectHash
+	// GridCellPartitioner shards by spatial cell at the batch start, so
+	// co-located objects — the stuff of crowds — share a shard.
+	GridCellPartitioner = engine.GridCell
+)
+
+// Engine ingest errors.
+var (
+	// ErrQueueFull is returned by Engine.TryAppend when the bounded
+	// ingest queue cannot take a whole batch.
+	ErrQueueFull = engine.ErrQueueFull
+	// ErrEngineClosed is returned by appends after Engine.Close.
+	ErrEngineClosed = engine.ErrClosed
+)
+
+// DefaultEngineConfig returns the paper's pipeline defaults wrapped in a
+// serving-oriented engine setup: one shard and one worker per CPU, and a
+// grid-cell partitioner with 3 km cells (10×δ, comfortably larger than a
+// gathering site) so spatial density stays intact within each shard.
+func DefaultEngineConfig() EngineConfig {
+	ncpu := runtime.GOMAXPROCS(0)
+	cfg := DefaultConfig()
+	return EngineConfig{
+		Pipeline:    cfg,
+		Shards:      ncpu,
+		Workers:     ncpu,
+		Partitioner: GridCellPartitioner{CellSize: 10 * cfg.Delta},
+	}
+}
+
+// NewEngine creates a streaming engine and starts its worker pool. Close
+// it to stop the workers; queries remain valid afterwards.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }

@@ -22,7 +22,10 @@
 //
 // For streaming arrivals, use Store: it keeps the saved candidate state of
 // §III-C and extends crowds and gatherings incrementally as batches are
-// appended.
+// appended. For concurrent serving — many writers and readers at once —
+// use Engine, which shards the incremental state, ingests batches through
+// a bounded worker pool, and answers snapshot queries filtered by time
+// window and bounding box.
 package gatherings
 
 import (
@@ -119,25 +122,12 @@ func NewStore(cfg Config) (*Store, error) {
 	inner, err := incremental.New(
 		crowd.Params{MC: cfg.MC, KC: cfg.KC, Delta: cfg.Delta},
 		gathering.Params{KC: cfg.KC, KP: cfg.KP, MP: cfg.MP},
-		func() crowd.Searcher {
-			s, err := crowd.NewSearcher(searcherName(cfg), cfg.Delta)
-			if err != nil {
-				panic(err) // validated above
-			}
-			return s
-		},
+		cfg.SearcherFactory(),
 	)
 	if err != nil {
 		return nil, err
 	}
 	return &Store{cfg: cfg, inner: inner}, nil
-}
-
-func searcherName(cfg Config) string {
-	if cfg.Searcher == "" {
-		return "grid"
-	}
-	return cfg.Searcher
 }
 
 // Append ingests one batch of trajectories covering the next
@@ -174,13 +164,7 @@ func LoadStore(r io.Reader, cfg Config) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	inner, err := incremental.Load(r, func() crowd.Searcher {
-		s, err := crowd.NewSearcher(searcherName(cfg), cfg.Delta)
-		if err != nil {
-			panic(err) // validated above
-		}
-		return s
-	})
+	inner, err := incremental.Load(r, cfg.SearcherFactory())
 	if err != nil {
 		return nil, err
 	}

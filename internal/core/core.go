@@ -91,7 +91,10 @@ func (c Config) gatherParams() gathering.Params {
 	return gathering.Params{KC: c.KC, KP: c.KP, MP: c.MP}
 }
 
-func (c Config) searcherName() string {
+// SearcherName returns the effective range-search scheme, applying the
+// "grid" default for an empty Searcher field. It is the single owner of
+// that fallback; callers must not re-implement it.
+func (c Config) SearcherName() string {
 	if c.Searcher == "" {
 		return "grid"
 	}
@@ -106,7 +109,21 @@ func (c Config) detectorName() string {
 }
 
 func (c Config) newSearcher() (crowd.Searcher, error) {
-	return crowd.NewSearcher(c.searcherName(), c.Delta)
+	return crowd.NewSearcher(c.SearcherName(), c.Delta)
+}
+
+// SearcherFactory returns a constructor for fresh searchers of the
+// configured scheme (searchers carry per-sweep state, so the incremental
+// and streaming layers need a new one per Append). It panics on an
+// unknown scheme; call Validate first.
+func (c Config) SearcherFactory() func() crowd.Searcher {
+	return func() crowd.Searcher {
+		s, err := c.newSearcher()
+		if err != nil {
+			panic(err) // callers validate the config up front
+		}
+		return s
+	}
 }
 
 // Discovery is the output of a pipeline run.

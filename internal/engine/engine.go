@@ -1,0 +1,467 @@
+// Package engine is the concurrent streaming layer over the paper's
+// §III-C incremental algorithm: a thread-safe, sharded discovery service
+// that ingests trajectory batches while answering snapshot queries.
+//
+// An Engine owns N incremental.Store shards. Each incoming batch is split
+// by a pluggable Partitioner (object hash or spatial grid cell), clustered
+// per shard by a worker pool, and applied to the shard's store under its
+// write lock — so the expensive DBSCAN pass runs in parallel and lock-free
+// while the cheap store update is serialised per shard. Batches flow
+// through a bounded queue: Append blocks when it is full (backpressure),
+// TryAppend refuses instead. Per-shard sequence numbers keep batch order
+// even when several workers race on one shard's tasks.
+//
+// Queries read the current closed crowds and gatherings under per-shard
+// read locks: each shard's answer is internally consistent; across shards
+// a query may observe different ingest frontiers (use Flush for a global
+// barrier). Shards are independent discovery domains — a group whose
+// objects the partitioner scatters across shards is not found — so choose
+// the partitioner to match the workload (see Partitioner).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/gathering"
+	"repro/internal/geo"
+	"repro/internal/incremental"
+	"repro/internal/stats"
+	"repro/internal/trajectory"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Pipeline carries the discovery thresholds applied inside every
+	// shard (DBSCAN, crowd and gathering parameters, searcher scheme).
+	Pipeline core.Config
+
+	// Shards is the number of independent incremental stores. Zero means
+	// one (the plain incremental algorithm behind a lock).
+	Shards int
+
+	// Workers is the ingest worker pool size. Zero means one worker per
+	// shard. Workers cluster sub-batches concurrently; a worker that gets
+	// ahead of a shard's batch order waits for its predecessor.
+	Workers int
+
+	// QueueDepth bounds the ingest queue in per-shard tasks (each Append
+	// enqueues Shards tasks). Zero means 4×Shards; values below Shards
+	// are rejected, since one batch must fit entirely.
+	QueueDepth int
+
+	// Partitioner routes trajectories to shards. Nil means ObjectHash.
+	Partitioner Partitioner
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = c.Shards
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Shards
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = ObjectHash{}
+	}
+	return c
+}
+
+// Validate reports the first configuration error, after defaulting.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.Pipeline.Validate(); err != nil {
+		return err
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("engine: Shards must be ≥ 1, got %d", c.Shards)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("engine: Workers must be ≥ 1, got %d", c.Workers)
+	}
+	if c.QueueDepth < c.Shards {
+		return fmt.Errorf("engine: QueueDepth %d cannot hold one batch of %d shard tasks",
+			c.QueueDepth, c.Shards)
+	}
+	if v, ok := c.Partitioner.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Errors returned by the ingest side.
+var (
+	// ErrQueueFull is returned by TryAppend when the ingest queue cannot
+	// take a whole batch without blocking.
+	ErrQueueFull = errors.New("engine: ingest queue full")
+	// ErrClosed is returned by Append and TryAppend after Close.
+	ErrClosed = errors.New("engine: closed")
+)
+
+// task is one shard's slice of an ingested batch.
+type task struct {
+	shard int
+	seq   uint64 // per-shard apply order
+	batch *trajectory.DB
+}
+
+// shard pairs an incremental store with its locks. mu guards the store;
+// readers take RLock, appliers take Lock. cond (on the write side of mu)
+// sequences appliers so sub-batches hit the store in Append order no
+// matter which worker finishes clustering first.
+type shard struct {
+	mu    sync.RWMutex
+	cond  *sync.Cond
+	store *incremental.Store
+	next  uint64       // seq of the next task to apply
+	ticks atomic.Int64 // store.Ticks() after the last apply, lock-free for the frontier
+}
+
+// Engine is the concurrent sharded streaming-discovery service. Create
+// one with New; all methods are safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	queue  chan task
+	wg     sync.WaitGroup
+
+	// enqMu serialises sequence assignment and queue sends so the queue's
+	// FIFO order agrees with per-shard sequence order (workers would
+	// deadlock waiting for an out-of-order predecessor otherwise). Free
+	// capacity is tracked explicitly in qFree so admission waits on
+	// enqCond, never parked inside a channel send while holding enqMu —
+	// that would stall TryAppend and Close behind a blocked Append.
+	enqMu   sync.Mutex
+	enqCond *sync.Cond
+	qFree   int // queue slots not yet promised to a batch
+	seq     uint64
+	closed  bool
+
+	// pending tracks enqueued-but-unapplied tasks for Flush.
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pending  int
+
+	counters stats.EngineCounters
+	ticksLow atomic.Int64 // cached fully-applied tick frontier (min over shards)
+}
+
+// New creates an engine and starts its worker pool.
+func New(cfg Config) (*Engine, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.start()
+	return e, nil
+}
+
+// newEngine builds the engine without starting workers; tests use it to
+// exercise queue backpressure deterministically.
+func newEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		queue:  make(chan task, cfg.QueueDepth),
+		qFree:  cfg.QueueDepth,
+	}
+	e.enqCond = sync.NewCond(&e.enqMu)
+	e.pendCond = sync.NewCond(&e.pendMu)
+	cp := crowd.Params{MC: cfg.Pipeline.MC, KC: cfg.Pipeline.KC, Delta: cfg.Pipeline.Delta}
+	gp := gathering.Params{KC: cfg.Pipeline.KC, KP: cfg.Pipeline.KP, MP: cfg.Pipeline.MP}
+	factory := cfg.Pipeline.SearcherFactory()
+	for i := range e.shards {
+		st, err := incremental.New(cp, gp, factory)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{store: st}
+		sh.cond = sync.NewCond(&sh.mu)
+		e.shards[i] = sh
+	}
+	return e, nil
+}
+
+// start launches the worker pool.
+func (e *Engine) start() {
+	for w := 0; w < e.cfg.Workers; w++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for t := range e.queue {
+				// The buffer slot is free as soon as the task is out of
+				// the channel; hand it to a waiting appender.
+				e.enqMu.Lock()
+				e.qFree++
+				e.enqCond.Signal()
+				e.enqMu.Unlock()
+				e.apply(t)
+			}
+		}()
+	}
+}
+
+// Append splits the batch across the shards and enqueues it, blocking
+// while the ingest queue is full (backpressure). The batch covers the
+// next batch.Domain.N ticks of every shard's domain; concurrent Append
+// calls are admitted one at a time, in lock-acquisition order.
+func (e *Engine) Append(batch *trajectory.DB) error { return e.enqueue(batch, true) }
+
+// TryAppend is Append without the blocking: it returns ErrQueueFull when
+// the queue cannot take the whole batch right now.
+func (e *Engine) TryAppend(batch *trajectory.DB) error { return e.enqueue(batch, false) }
+
+func (e *Engine) enqueue(batch *trajectory.DB, wait bool) error {
+	subs := e.split(batch)
+
+	e.enqMu.Lock()
+	defer e.enqMu.Unlock()
+	for e.qFree < len(subs) {
+		if e.closed {
+			return ErrClosed
+		}
+		if !wait {
+			e.counters.BatchesRejected.Add(1)
+			return ErrQueueFull
+		}
+		e.enqCond.Wait() // backpressure: parked without the sends below
+	}
+	if e.closed {
+		return ErrClosed
+	}
+	// qFree slots are reserved for us, so every send below is buffered
+	// and returns immediately — enqMu is never held across a park.
+	e.qFree -= len(subs)
+	seq := e.seq
+	e.seq++
+	e.pendMu.Lock()
+	e.pending += len(subs)
+	e.pendMu.Unlock()
+	for i, sub := range subs {
+		e.queue <- task{shard: i, seq: seq, batch: sub}
+	}
+	e.counters.BatchesEnqueued.Add(1)
+	e.counters.TicksIngested.Add(uint64(batch.Domain.N))
+	return nil
+}
+
+// split partitions the batch's trajectories into one sub-batch per shard.
+// Every shard gets a sub-batch — possibly with no trajectories — because
+// each store must still advance its time domain by the batch's ticks.
+func (e *Engine) split(batch *trajectory.DB) []*trajectory.DB {
+	subs := make([]*trajectory.DB, e.cfg.Shards)
+	for i := range subs {
+		subs[i] = &trajectory.DB{Domain: batch.Domain}
+	}
+	n := e.cfg.Shards
+	for i := range batch.Trajs {
+		tr := &batch.Trajs[i]
+		s := e.cfg.Partitioner.Shard(tr, batch.Domain, n) % n
+		if s < 0 {
+			s += n
+		}
+		subs[s].Trajs = append(subs[s].Trajs, *tr)
+	}
+	return subs
+}
+
+// apply clusters one shard task (outside any lock) and applies it to the
+// shard's store in sequence order.
+func (e *Engine) apply(t task) {
+	cdb := core.BuildCDB(t.batch, e.cfg.Pipeline)
+	e.counters.ClustersBuilt.Add(uint64(cdb.NumClusters()))
+
+	sh := e.shards[t.shard]
+	sh.mu.Lock()
+	for sh.next != t.seq {
+		sh.cond.Wait()
+	}
+	sh.store.Append(cdb)
+	sh.ticks.Store(int64(sh.store.Ticks()))
+	sh.next++
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+
+	e.counters.TasksApplied.Add(1)
+	e.advanceFrontier()
+
+	e.pendMu.Lock()
+	e.pending--
+	if e.pending == 0 {
+		e.pendCond.Broadcast()
+	}
+	e.pendMu.Unlock()
+}
+
+// advanceFrontier recomputes the fully-applied tick frontier from the
+// per-shard tick atomics — no shard locks on the ingest hot path.
+func (e *Engine) advanceFrontier() {
+	low := int64(-1)
+	for _, sh := range e.shards {
+		t := sh.ticks.Load()
+		if low < 0 || t < low {
+			low = t
+		}
+	}
+	// Monotonic max: a stale worker must not move the frontier backwards.
+	for {
+		cur := e.ticksLow.Load()
+		if low <= cur || e.ticksLow.CompareAndSwap(cur, low) {
+			return
+		}
+	}
+}
+
+// Ticks returns the number of ticks applied to every shard — the engine's
+// fully-ingested frontier. Batches still in the queue are not counted.
+func (e *Engine) Ticks() int { return int(e.ticksLow.Load()) }
+
+// Flush blocks until every batch enqueued before the call has been applied
+// to its shard, establishing a cross-shard consistent frontier.
+func (e *Engine) Flush() {
+	e.pendMu.Lock()
+	for e.pending > 0 {
+		e.pendCond.Wait()
+	}
+	e.pendMu.Unlock()
+}
+
+// Close stops accepting batches, drains the queue and stops the workers.
+// It is idempotent; queries remain valid after Close.
+func (e *Engine) Close() {
+	e.enqMu.Lock()
+	if e.closed {
+		e.enqMu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.queue)
+	e.enqCond.Broadcast() // wake parked appenders; they return ErrClosed
+	e.enqMu.Unlock()
+	e.wg.Wait()
+}
+
+// Counters exposes the engine's live ingest/query counters.
+func (e *Engine) Counters() *stats.EngineCounters { return &e.counters }
+
+// TickWindow is an inclusive tick interval.
+type TickWindow struct {
+	From, To trajectory.Tick
+}
+
+// Query selects closed crowds (and their gatherings) from the engine's
+// current state. The zero Query matches everything.
+type Query struct {
+	// Window keeps only crowds whose tick span overlaps it. Nil matches
+	// all ticks.
+	Window *TickWindow
+	// Bounds keeps only crowds that pass through it: at least one of
+	// their clusters' MBRs intersects the rectangle. Nil matches
+	// everywhere.
+	Bounds *geo.Rect
+	// GatheringsOnly drops crowds with no closed gathering.
+	GatheringsOnly bool
+	// Limit caps the number of crowds returned; zero means no cap.
+	Limit int
+}
+
+// matches reports whether cr passes the window and bounds filters.
+func (q Query) matches(cr *crowd.Crowd) bool {
+	if q.Window != nil && (cr.Start > q.Window.To || cr.End() < q.Window.From) {
+		return false
+	}
+	if q.Bounds != nil {
+		// Cluster MBRs are cached, so this is a rect-intersection scan
+		// that stops at the first hit — for matching crowds usually the
+		// first cluster.
+		hit := false
+		for _, c := range cr.Clusters {
+			if c.MBR().Intersects(*q.Bounds) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is one snapshot answer: the matching closed crowds with their
+// gatherings, parallel slices as in core.Discovery.
+type Result struct {
+	// Ticks is the fully-applied tick frontier at answer time.
+	Ticks int
+	// Crowds are detached copies: safe to hold while ingestion continues.
+	Crowds     []*crowd.Crowd
+	Gatherings [][]*gathering.Gathering
+}
+
+// AllGatherings flattens the per-crowd gathering lists.
+func (r *Result) AllGatherings() []*gathering.Gathering {
+	var out []*gathering.Gathering
+	for _, gs := range r.Gatherings {
+		out = append(out, gs...)
+	}
+	return out
+}
+
+// Snapshot answers a query against the current state. Each shard is read
+// under its read lock, so the answer is consistent per shard; shards are
+// visited in order and may sit at different ingest frontiers while
+// batches are in flight (Flush first for a global barrier). The returned
+// crowds are shallow copies detached from the ingest path; clusters and
+// gatherings are immutable and shared.
+func (e *Engine) Snapshot(q Query) *Result {
+	res := &Result{Ticks: e.Ticks()}
+	for _, sh := range e.shards {
+		if q.Limit > 0 && len(res.Crowds) >= q.Limit {
+			break
+		}
+		// Filter and copy under the read lock: the store mutates Origin
+		// on tail crowds when the next batch resumes discovery from them,
+		// so even the struct copy must not race with an apply.
+		sh.mu.RLock()
+		crowds := sh.store.Crowds()
+		gathers := sh.store.Gatherings()
+		for i, cr := range crowds {
+			if q.Limit > 0 && len(res.Crowds) >= q.Limit {
+				break
+			}
+			if q.GatheringsOnly && len(gathers[i]) == 0 {
+				continue
+			}
+			if !q.matches(cr) {
+				continue
+			}
+			cp := *cr
+			cp.Origin = nil
+			res.Crowds = append(res.Crowds, &cp)
+			res.Gatherings = append(res.Gatherings, gathers[i])
+		}
+		sh.mu.RUnlock()
+	}
+	e.counters.Queries.Add(1)
+	e.counters.CrowdsReturned.Add(uint64(len(res.Crowds)))
+	ngs := 0
+	for _, gs := range res.Gatherings {
+		ngs += len(gs)
+	}
+	e.counters.GatheringsReturned.Add(uint64(ngs))
+	return res
+}

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trajectory"
+)
+
+// Partitioner routes each trajectory of an incoming batch to one of the
+// engine's shards. Implementations must be pure functions of their inputs
+// (the engine calls them concurrently and relies on the same trajectory
+// always landing on the same shard for a given batch domain).
+//
+// Two built-in schemes cover the two sharding regimes:
+//
+//   - ObjectHash spreads objects uniformly by ID. Load balance is ideal
+//     and an object stays on one shard forever, but spatial density splits
+//     across shards, so crowds spanning objects from different shards are
+//     not discovered. Use it for tenant-style isolation (each shard is an
+//     independent fleet) or for pure throughput benchmarks.
+//   - GridCell routes by the object's position at the start of the batch:
+//     objects in the same spatial cell share a shard, so local density —
+//     what crowds and gatherings are made of — is preserved, at the cost
+//     of boundary effects for groups straddling a cell edge and objects
+//     migrating shards between batches.
+type Partitioner interface {
+	// Shard returns the shard in [0, n) for tr within a batch covering
+	// domain. Results outside [0, n) are reduced modulo n by the engine.
+	Shard(tr *trajectory.Trajectory, domain trajectory.TimeDomain, n int) int
+	// Name identifies the scheme in logs and diagnostics.
+	Name() string
+}
+
+// splitmix is the splitmix64 finaliser, used to turn IDs and cell
+// coordinates into well-mixed shard choices.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ObjectHash shards trajectories by hashed object ID.
+type ObjectHash struct{}
+
+// Shard implements Partitioner.
+func (ObjectHash) Shard(tr *trajectory.Trajectory, _ trajectory.TimeDomain, n int) int {
+	return int(splitmix(uint64(tr.ID)) % uint64(n))
+}
+
+// Name implements Partitioner.
+func (ObjectHash) Name() string { return "objecthash" }
+
+// GridCell shards trajectories by the spatial cell containing the object's
+// location at the batch's first tick. Cells are CellSize × CellSize metres
+// and are hashed onto shards, so one shard typically owns many scattered
+// cells. Objects with no location at the batch start (their lifespan does
+// not cover it) fall back to the first sample's position, and to the ID
+// hash when they have no samples at all.
+type GridCell struct {
+	// CellSize is the cell side in metres. It should comfortably exceed
+	// the expected diameter of a gathering site (a few × δ) so that most
+	// groups fit inside one cell.
+	CellSize float64
+}
+
+// Shard implements Partitioner.
+func (g GridCell) Shard(tr *trajectory.Trajectory, domain trajectory.TimeDomain, n int) int {
+	p, ok := tr.LocationAt(domain.Start)
+	if !ok {
+		if len(tr.Samples) == 0 {
+			return ObjectHash{}.Shard(tr, domain, n)
+		}
+		p = tr.Samples[0].P
+	}
+	cx := int64(math.Floor(p.X / g.CellSize))
+	cy := int64(math.Floor(p.Y / g.CellSize))
+	h := splitmix(splitmix(uint64(cx)) ^ uint64(cy))
+	return int(h % uint64(n))
+}
+
+// Name implements Partitioner.
+func (g GridCell) Name() string { return "gridcell" }
+
+// Validate rejects non-positive cell sizes, which would otherwise turn
+// the cell arithmetic into ±Inf and collapse all routing onto one shard.
+// Config.Validate calls this through the optional validator interface.
+func (g GridCell) Validate() error {
+	if g.CellSize <= 0 {
+		return fmt.Errorf("engine: GridCell.CellSize must be > 0, got %v", g.CellSize)
+	}
+	return nil
+}

@@ -42,8 +42,10 @@ type FeatureCollection struct {
 }
 
 // NewFeatureCollection returns an empty collection ready for appends.
+// Features starts non-nil so an empty collection serialises with the
+// "features": [] array RFC 7946 requires, not null.
 func NewFeatureCollection() *FeatureCollection {
-	return &FeatureCollection{Type: "FeatureCollection"}
+	return &FeatureCollection{Type: "FeatureCollection", Features: []Feature{}}
 }
 
 // Write renders the collection as JSON.

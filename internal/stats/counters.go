@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// EngineCounters are the live activity counters of the streaming engine:
+// how much work entered the ingest queue, how much has been applied to the
+// shards, and what the query side is reading back. All fields are atomic,
+// so the engine's workers and query handlers update them without locks;
+// read a consistent-enough view with Snapshot.
+type EngineCounters struct {
+	// Ingest side.
+	BatchesEnqueued atomic.Uint64 // Append/TryAppend calls accepted
+	BatchesRejected atomic.Uint64 // TryAppend calls refused by a full queue
+	TasksApplied    atomic.Uint64 // per-shard sub-batches applied to a store
+	TicksIngested   atomic.Uint64 // ticks appended (counted once per batch)
+	ClustersBuilt   atomic.Uint64 // snapshot clusters produced while ingesting
+
+	// Query side.
+	Queries            atomic.Uint64 // snapshot queries served
+	CrowdsReturned     atomic.Uint64 // crowds returned across all queries
+	GatheringsReturned atomic.Uint64 // gatherings returned across all queries
+}
+
+// EngineCounterSnapshot is a point-in-time copy of EngineCounters.
+type EngineCounterSnapshot struct {
+	BatchesEnqueued    uint64
+	BatchesRejected    uint64
+	TasksApplied       uint64
+	TicksIngested      uint64
+	ClustersBuilt      uint64
+	Queries            uint64
+	CrowdsReturned     uint64
+	GatheringsReturned uint64
+}
+
+// Snapshot reads every counter once. Counters advance independently, so
+// the snapshot is per-field atomic, not a global fence — fine for
+// monitoring, which is what it is for.
+func (c *EngineCounters) Snapshot() EngineCounterSnapshot {
+	return EngineCounterSnapshot{
+		BatchesEnqueued:    c.BatchesEnqueued.Load(),
+		BatchesRejected:    c.BatchesRejected.Load(),
+		TasksApplied:       c.TasksApplied.Load(),
+		TicksIngested:      c.TicksIngested.Load(),
+		ClustersBuilt:      c.ClustersBuilt.Load(),
+		Queries:            c.Queries.Load(),
+		CrowdsReturned:     c.CrowdsReturned.Load(),
+		GatheringsReturned: c.GatheringsReturned.Load(),
+	}
+}
+
+// Fprint renders the snapshot as an aligned block, matching Report.Fprint.
+func (s EngineCounterSnapshot) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "batches enqueued:    %d\n", s.BatchesEnqueued)
+	fmt.Fprintf(w, "batches rejected:    %d\n", s.BatchesRejected)
+	fmt.Fprintf(w, "shard tasks applied: %d\n", s.TasksApplied)
+	fmt.Fprintf(w, "ticks ingested:      %d\n", s.TicksIngested)
+	fmt.Fprintf(w, "clusters built:      %d\n", s.ClustersBuilt)
+	fmt.Fprintf(w, "queries served:      %d\n", s.Queries)
+	fmt.Fprintf(w, "crowds returned:     %d\n", s.CrowdsReturned)
+	fmt.Fprintf(w, "gatherings returned: %d\n", s.GatheringsReturned)
+}

@@ -221,6 +221,25 @@ func (db *DB) SliceTicks(from Tick, n int) *DB {
 	return &DB{Trajs: db.Trajs, Domain: d}
 }
 
+// Batches splits the database's tick domain into consecutive windows of
+// per ticks (the last may be shorter), one view per window — the unit of
+// streaming ingestion. Trajectories are shared, as in SliceTicks. A
+// non-positive per returns nil.
+func (db *DB) Batches(per int) []*DB {
+	if per <= 0 {
+		return nil
+	}
+	out := make([]*DB, 0, (db.Domain.N+per-1)/per)
+	for at := 0; at < db.Domain.N; at += per {
+		n := per
+		if at+n > db.Domain.N {
+			n = db.Domain.N - at
+		}
+		out = append(out, db.SliceTicks(Tick(at), n))
+	}
+	return out
+}
+
 // Append merges the trajectories of batch into db, concatenating samples of
 // objects that already exist and adding new objects, then extends the
 // domain by batch.Domain.N ticks. Batches model the periodic arrival of new

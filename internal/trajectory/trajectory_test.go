@@ -201,6 +201,27 @@ func TestDBSliceTicks(t *testing.T) {
 	}
 }
 
+func TestDBBatches(t *testing.T) {
+	db := &DB{Domain: TimeDomain{Start: 0, Step: 2, N: 100}}
+	bs := db.Batches(30)
+	if len(bs) != 4 {
+		t.Fatalf("Batches(30) over 100 ticks: %d batches, want 4", len(bs))
+	}
+	total := 0
+	for _, b := range bs {
+		total += b.Domain.N
+	}
+	if total != 100 || bs[3].Domain.N != 10 {
+		t.Fatalf("batch ticks sum %d (last %d), want 100 (last 10)", total, bs[3].Domain.N)
+	}
+	if bs[1].Domain.Start != 60 { // tick 30 at step 2
+		t.Fatalf("second batch starts at %v, want 60", bs[1].Domain.Start)
+	}
+	if db.Batches(0) != nil {
+		t.Fatal("Batches(0) should be nil")
+	}
+}
+
 func TestDBAppend(t *testing.T) {
 	db := &DB{
 		Trajs:  []Trajectory{traj(0, s(0, 0, 0), s(9, 9, 9))},
