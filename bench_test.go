@@ -260,15 +260,26 @@ func BenchmarkEngineIngestStoreBaseline(b *testing.B) {
 	}
 }
 
-func BenchmarkEngineIngestShards1(b *testing.B) { benchEngineIngest(b, 1) }
-func BenchmarkEngineIngestShards2(b *testing.B) { benchEngineIngest(b, 2) }
-func BenchmarkEngineIngestShards4(b *testing.B) { benchEngineIngest(b, 4) }
-func BenchmarkEngineIngestShards8(b *testing.B) { benchEngineIngest(b, 8) }
+func BenchmarkEngineIngestShards1(b *testing.B) { benchEngineIngest(b, 1, engine.ObjectHash{}) }
+func BenchmarkEngineIngestShards2(b *testing.B) { benchEngineIngest(b, 2, engine.ObjectHash{}) }
+func BenchmarkEngineIngestShards4(b *testing.B) { benchEngineIngest(b, 4, engine.ObjectHash{}) }
+func BenchmarkEngineIngestShards8(b *testing.B) { benchEngineIngest(b, 8, engine.ObjectHash{}) }
 
-// benchEngineIngest measures wall-clock ingest of the whole batch stream
-// with the object-hash partitioner (even shard load, so the measured
-// speed-up is the sharding/concurrency win, not placement luck).
-func benchEngineIngest(b *testing.B, shards int) {
+// The halo variants measure the cost of recall-preserving spatial
+// sharding: boundary objects are replicated into adjacent shards (extra
+// clustering work) and deduplicated at query time.
+func BenchmarkEngineIngestShards4GridHalo(b *testing.B) {
+	benchEngineIngest(b, 4, engine.GridCell{CellSize: 3000, Halo: 1200})
+}
+
+func BenchmarkEngineIngestShards8GridHalo(b *testing.B) {
+	benchEngineIngest(b, 8, engine.GridCell{CellSize: 3000, Halo: 1200})
+}
+
+// benchEngineIngest measures wall-clock ingest of the whole batch stream.
+// The object-hash variants give even shard load, so the measured speed-up
+// is the sharding/concurrency win, not placement luck.
+func benchEngineIngest(b *testing.B, shards int, part engine.Partitioner) {
 	batches := benchEngineBatches()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -276,7 +287,7 @@ func benchEngineIngest(b *testing.B, shards int) {
 			Pipeline:    benchEnginePipeline(),
 			Shards:      shards,
 			Workers:     shards,
-			Partitioner: engine.ObjectHash{},
+			Partitioner: part,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -294,11 +305,21 @@ func benchEngineIngest(b *testing.B, shards int) {
 // BenchmarkEngineQuerySnapshot measures query latency against a loaded
 // engine, with concurrent readers sharing it (b.RunParallel).
 func BenchmarkEngineQuerySnapshot(b *testing.B) {
+	benchEngineQuery(b, engine.GridCell{CellSize: 3000})
+}
+
+// BenchmarkEngineQuerySnapshotHalo includes the snapshot-time cross-shard
+// merge (dedup + stitching) that halo replication requires.
+func BenchmarkEngineQuerySnapshotHalo(b *testing.B) {
+	benchEngineQuery(b, engine.GridCell{CellSize: 3000, Halo: 1200})
+}
+
+func benchEngineQuery(b *testing.B, part engine.Partitioner) {
 	batches := benchEngineBatches()
 	eng, err := engine.New(engine.Config{
 		Pipeline:    benchEnginePipeline(),
 		Shards:      4,
-		Partitioner: engine.GridCell{CellSize: 3000},
+		Partitioner: part,
 	})
 	if err != nil {
 		b.Fatal(err)

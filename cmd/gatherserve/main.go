@@ -6,7 +6,7 @@
 //
 //	gatherserve -in traj.csv [-ticks 288] [-step 1] [-batch 24] [-interval 0]
 //	            [-shards 0] [-workers 0] [-queue 0]
-//	            [-partition grid] [-cell 3000]
+//	            [-partition grid] [-cell 3000] [-halo 1200]
 //	            [-eps 200] [-minpts 5] [-mc 15] [-kc 20] [-delta 300]
 //	            [-kp 15] [-mp 10] [-searcher grid]
 //	            [-addr :8080] [-oneshot]
@@ -54,6 +54,7 @@ func main() {
 		queue     = flag.Int("queue", 0, "ingest queue depth in shard tasks (0 = 4×shards)")
 		partition = flag.String("partition", "grid", "shard routing: grid (spatial cell) or hash (object ID)")
 		cell      = flag.Float64("cell", 0, "grid partition cell size in metres (0 = 10×delta)")
+		halo      = flag.Float64("halo", -1, "grid partition halo margin in metres: boundary objects replicate into adjacent shards and duplicates merge at query time (-1 = 4×delta, 0 = no replication)")
 
 		eps      = flag.Float64("eps", 200, "DBSCAN epsilon (metres)")
 		minpts   = flag.Int("minpts", 5, "DBSCAN density threshold m")
@@ -122,9 +123,16 @@ func main() {
 	if cellSize == 0 {
 		cellSize = 10 * *delta
 	}
+	haloSize := *halo
+	switch {
+	case haloSize == -1:
+		haloSize = 4 * *delta
+	case haloSize < 0:
+		fatal(fmt.Errorf("-halo must be ≥ 0 (or -1 for the 4×delta default), got %v", haloSize))
+	}
 	switch *partition {
 	case "grid":
-		cfg.Partitioner = gatherings.GridCellPartitioner{CellSize: cellSize}
+		cfg.Partitioner = gatherings.GridCellPartitioner{CellSize: cellSize, Halo: haloSize}
 	case "hash":
 		cfg.Partitioner = gatherings.ObjectHashPartitioner{}
 	default:

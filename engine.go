@@ -31,7 +31,10 @@ type (
 	// isolation; spatial density splits across shards).
 	ObjectHashPartitioner = engine.ObjectHash
 	// GridCellPartitioner shards by spatial cell at the batch start, so
-	// co-located objects — the stuff of crowds — share a shard.
+	// co-located objects — the stuff of crowds — share a shard. With a
+	// positive Halo it replicates objects near cell edges into adjacent
+	// shards; the engine deduplicates the redundant discoveries at query
+	// time, so groups straddling a cell boundary are still found.
 	GridCellPartitioner = engine.GridCell
 )
 
@@ -47,7 +50,11 @@ var (
 // DefaultEngineConfig returns the paper's pipeline defaults wrapped in a
 // serving-oriented engine setup: one shard and one worker per CPU, and a
 // grid-cell partitioner with 3 km cells (10×δ, comfortably larger than a
-// gathering site) so spatial density stays intact within each shard.
+// gathering site) so spatial density stays intact within each shard. The
+// partitioner's halo margin of 4×δ replicates boundary objects into
+// adjacent shards, so groups straddling a cell edge are discovered whole
+// and deduplicated at query time — multi-shard recall matches a single
+// incremental store.
 func DefaultEngineConfig() EngineConfig {
 	ncpu := runtime.GOMAXPROCS(0)
 	cfg := DefaultConfig()
@@ -55,7 +62,7 @@ func DefaultEngineConfig() EngineConfig {
 		Pipeline:    cfg,
 		Shards:      ncpu,
 		Workers:     ncpu,
-		Partitioner: GridCellPartitioner{CellSize: 10 * cfg.Delta},
+		Partitioner: GridCellPartitioner{CellSize: 10 * cfg.Delta, Halo: 4 * cfg.Delta},
 	}
 }
 

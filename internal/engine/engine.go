@@ -14,14 +14,23 @@
 // Queries read the current closed crowds and gatherings under per-shard
 // read locks: each shard's answer is internally consistent; across shards
 // a query may observe different ingest frontiers (use Flush for a global
-// barrier). Shards are independent discovery domains — a group whose
-// objects the partitioner scatters across shards is not found — so choose
-// the partitioner to match the workload (see Partitioner).
+// barrier). Each shard is an independent discovery domain, but sharding
+// need not change the answer set: with a replicating partitioner (GridCell
+// with a positive Halo — what the library's DefaultEngineConfig and the
+// gatherserve -halo default install), objects near a cell edge are
+// replicated into every shard owning a nearby cell, and a snapshot-time
+// merge deduplicates the redundant discoveries and stitches boundary
+// fragments back together (see merge.go), so multi-shard recall matches a
+// single incremental store. Single-shard routing schemes — ObjectHash, or
+// a zero-value GridCell, whose Halo defaults to 0 — still lose groups the
+// partitioner scatters; choose them for tenant isolation or raw
+// throughput, not for recall-sensitive discovery.
 package engine
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -135,6 +144,27 @@ type Engine struct {
 	queue  chan task
 	wg     sync.WaitGroup
 
+	// gatherParams re-detects gatherings on crowds stitched from
+	// cross-shard fragments at Snapshot time.
+	gatherParams gathering.Params
+	// multi and router are set together — and only — when the partitioner
+	// actually replicates (MultiShardPartitioner with Replicates() true):
+	// multi fans halo replicas on ingest, router maps a point to its
+	// owning shard for the snapshot merge. Both nil for single-shard
+	// routing, which skips the merge entirely.
+	multi  MultiShardPartitioner
+	router PointRouter
+
+	// mergeMu guards the memoized cross-shard merge: the merged, sorted
+	// crowd list is recomputed only when a sub-batch has been applied
+	// since it was built (mergeVer tracks TasksApplied), so steady-state
+	// queries pay a filter over the cached list, not the O(k²) merge.
+	mergeMu    sync.Mutex
+	mergeVer   uint64
+	mergeValid bool
+	mergeCache []shardCrowd
+	mergeTicks int
+
 	// enqMu serialises sequence assignment and queue sends so the queue's
 	// FIFO order agrees with per-shard sequence order (workers would
 	// deadlock waiting for an out-of-order predecessor otherwise). Free
@@ -179,10 +209,20 @@ func newEngine(cfg Config) (*Engine, error) {
 		queue:  make(chan task, cfg.QueueDepth),
 		qFree:  cfg.QueueDepth,
 	}
+	if m, ok := cfg.Partitioner.(MultiShardPartitioner); ok && m.Replicates() {
+		r, ok := cfg.Partitioner.(PointRouter)
+		if !ok {
+			// Replication without owner routing would return every
+			// boundary crowd once per discovering shard: refuse it.
+			return nil, fmt.Errorf("engine: partitioner %s replicates (ShardSet) but implements no PointRouter for the snapshot merge", m.Name())
+		}
+		e.multi, e.router = m, r
+	}
 	e.enqCond = sync.NewCond(&e.enqMu)
 	e.pendCond = sync.NewCond(&e.pendMu)
 	cp := crowd.Params{MC: cfg.Pipeline.MC, KC: cfg.Pipeline.KC, Delta: cfg.Pipeline.Delta}
 	gp := gathering.Params{KC: cfg.Pipeline.KC, KP: cfg.Pipeline.KP, MP: cfg.Pipeline.MP}
+	e.gatherParams = gp
 	factory := cfg.Pipeline.SearcherFactory()
 	for i := range e.shards {
 		st, err := incremental.New(cp, gp, factory)
@@ -262,19 +302,43 @@ func (e *Engine) enqueue(batch *trajectory.DB, wait bool) error {
 // split partitions the batch's trajectories into one sub-batch per shard.
 // Every shard gets a sub-batch — possibly with no trajectories — because
 // each store must still advance its time domain by the batch's ticks.
+// With a MultiShardPartitioner a trajectory may land in several sub-batches
+// (home shard plus halo replicas); replicas are counted in
+// ObjectsReplicated and collapsed again by the snapshot merge.
 func (e *Engine) split(batch *trajectory.DB) []*trajectory.DB {
 	subs := make([]*trajectory.DB, e.cfg.Shards)
 	for i := range subs {
 		subs[i] = &trajectory.DB{Domain: batch.Domain}
 	}
 	n := e.cfg.Shards
+	var targets []int
+	replicated := 0
 	for i := range batch.Trajs {
 		tr := &batch.Trajs[i]
-		s := e.cfg.Partitioner.Shard(tr, batch.Domain, n) % n
-		if s < 0 {
-			s += n
+		if e.multi != nil && n > 1 {
+			targets = e.multi.ShardSet(tr, batch.Domain, n, targets[:0])
+			added := 0
+			for _, s := range targets {
+				s = normShard(s, n)
+				// Out-of-range ShardSet values may fold onto a shard this
+				// trajectory already targets; its copy would be the last
+				// append on that shard, so one look suffices to dedupe.
+				if prev := subs[s].Trajs; len(prev) > 0 && prev[len(prev)-1].ID == tr.ID {
+					continue
+				}
+				subs[s].Trajs = append(subs[s].Trajs, *tr)
+				added++
+			}
+			if added > 1 {
+				replicated += added - 1
+			}
+			continue
 		}
+		s := normShard(e.cfg.Partitioner.Shard(tr, batch.Domain, n), n)
 		subs[s].Trajs = append(subs[s].Trajs, *tr)
+	}
+	if replicated > 0 {
+		e.counters.ObjectsReplicated.Add(uint64(replicated))
 	}
 	return subs
 }
@@ -405,9 +469,15 @@ func (q Query) matches(cr *crowd.Crowd) bool {
 // Result is one snapshot answer: the matching closed crowds with their
 // gatherings, parallel slices as in core.Discovery.
 type Result struct {
-	// Ticks is the fully-applied tick frontier at answer time.
+	// Ticks is the fully-applied tick frontier of the answer: the minimum
+	// of the per-shard tick counts observed under the shards' read locks,
+	// so every shard had applied at least this many ticks when it was
+	// read. Crowds from shards ahead of the minimum may extend past it.
 	Ticks int
 	// Crowds are detached copies: safe to hold while ingestion continues.
+	// They are sorted deterministically (start tick, lifetime, then
+	// per-tick membership), so Query.Limit always truncates the same way
+	// regardless of shard count or iteration order.
 	Crowds     []*crowd.Crowd
 	Gatherings [][]*gathering.Gathering
 }
@@ -424,39 +494,138 @@ func (r *Result) AllGatherings() []*gathering.Gathering {
 // Snapshot answers a query against the current state. Each shard is read
 // under its read lock, so the answer is consistent per shard; shards are
 // visited in order and may sit at different ingest frontiers while
-// batches are in flight (Flush first for a global barrier). The returned
-// crowds are shallow copies detached from the ingest path; clusters and
-// gatherings are immutable and shared.
+// batches are in flight (Flush first for a global barrier). When the
+// partitioner replicates (MultiShardPartitioner), the per-shard answers
+// are merged first: duplicate discoveries of one boundary crowd collapse
+// onto its canonical owner and cross-shard fragments are stitched whole
+// (see merge.go). The surviving crowds are sorted deterministically and
+// only then truncated to Query.Limit. The returned crowds are shallow
+// copies detached from the ingest path; clusters and gatherings are
+// immutable and shared.
 func (e *Engine) Snapshot(q Query) *Result {
-	res := &Result{Ticks: e.Ticks()}
-	for _, sh := range e.shards {
-		if q.Limit > 0 && len(res.Crowds) >= q.Limit {
-			break
+	var matched []shardCrowd
+	var minTicks int
+	if e.multi != nil && len(e.shards) > 1 {
+		// Replicating partitioner: filter the memoized merged state. The
+		// merge must see every crowd — a filtered-out canonical copy must
+		// still absorb its surviving duplicates — so filters apply to its
+		// already-sorted output.
+		entries, ticks := e.mergedState()
+		minTicks = ticks
+		for _, en := range entries {
+			if q.GatheringsOnly && len(en.gathers) == 0 {
+				continue
+			}
+			if !q.matches(en.crowd) {
+				continue
+			}
+			matched = append(matched, en)
 		}
-		// Filter and copy under the read lock: the store mutates Origin
-		// on tail crowds when the next batch resumes discovery from them,
-		// so even the struct copy must not race with an apply.
+	} else {
+		// Single-shard routing: no duplicates can exist, so only matches
+		// are copied under the read locks — the store mutates Origin on
+		// tail crowds when the next batch resumes discovery from them, so
+		// even the struct copy must not race with an apply.
+		minTicks = -1
+		for si, sh := range e.shards {
+			sh.mu.RLock()
+			if t := sh.store.Ticks(); minTicks < 0 || t < minTicks {
+				minTicks = t
+			}
+			crowds := sh.store.Crowds()
+			gathers := sh.store.Gatherings()
+			for i, cr := range crowds {
+				if q.GatheringsOnly && len(gathers[i]) == 0 {
+					continue
+				}
+				if !q.matches(cr) {
+					continue
+				}
+				cp := *cr
+				cp.Origin = nil
+				matched = append(matched, shardCrowd{shard: si, crowd: &cp, gathers: gathers[i]})
+			}
+			sh.mu.RUnlock()
+		}
+		if minTicks < 0 {
+			minTicks = 0
+		}
+		sort.Slice(matched, func(i, j int) bool {
+			return compareCrowds(matched[i].crowd, matched[j].crowd) < 0
+		})
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+
+	res := &Result{Ticks: minTicks}
+	for _, en := range matched {
+		res.Crowds = append(res.Crowds, en.crowd)
+		res.Gatherings = append(res.Gatherings, en.gathers)
+	}
+	e.counters.Queries.Add(1)
+	return e.finishSnapshot(res)
+}
+
+// mergedState returns the deduplicated, stitched, sorted cross-shard crowd
+// list and its tick frontier, memoized until the next sub-batch apply. The
+// CrowdsDeduped/CrowdsStitched counters therefore advance once per state
+// change, tracking replication activity rather than query rate. Returned
+// entries are immutable and shared between queries.
+func (e *Engine) mergedState() ([]shardCrowd, int) {
+	// Read the apply version before collecting: if an apply lands during
+	// the computation the version check below fails and the result is
+	// served uncached (it is still a valid snapshot).
+	ver := e.counters.TasksApplied.Load()
+	e.mergeMu.Lock()
+	if e.mergeValid && e.mergeVer == ver {
+		ents, ticks := e.mergeCache, e.mergeTicks
+		e.mergeMu.Unlock()
+		return ents, ticks
+	}
+	e.mergeMu.Unlock()
+
+	var entries []shardCrowd
+	minTicks := -1
+	for si, sh := range e.shards {
 		sh.mu.RLock()
+		if t := sh.store.Ticks(); minTicks < 0 || t < minTicks {
+			minTicks = t
+		}
 		crowds := sh.store.Crowds()
 		gathers := sh.store.Gatherings()
 		for i, cr := range crowds {
-			if q.Limit > 0 && len(res.Crowds) >= q.Limit {
-				break
-			}
-			if q.GatheringsOnly && len(gathers[i]) == 0 {
-				continue
-			}
-			if !q.matches(cr) {
-				continue
-			}
 			cp := *cr
 			cp.Origin = nil
-			res.Crowds = append(res.Crowds, &cp)
-			res.Gatherings = append(res.Gatherings, gathers[i])
+			entries = append(entries, shardCrowd{shard: si, crowd: &cp, gathers: gathers[i]})
 		}
 		sh.mu.RUnlock()
 	}
-	e.counters.Queries.Add(1)
+	if minTicks < 0 {
+		minTicks = 0
+	}
+
+	n := len(e.shards)
+	entries, st := mergeShards(entries, func(p geo.Point) int {
+		return normShard(e.router.OwnerShard(p, n), n)
+	}, e.gatherParams)
+	e.counters.CrowdsDeduped.Add(uint64(st.deduped))
+	e.counters.CrowdsStitched.Add(uint64(st.stitched))
+	sort.Slice(entries, func(i, j int) bool {
+		return compareCrowds(entries[i].crowd, entries[j].crowd) < 0
+	})
+
+	if e.counters.TasksApplied.Load() == ver {
+		e.mergeMu.Lock()
+		e.mergeCache, e.mergeTicks = entries, minTicks
+		e.mergeVer, e.mergeValid = ver, true
+		e.mergeMu.Unlock()
+	}
+	return entries, minTicks
+}
+
+// finishSnapshot updates the query-side counters and returns res.
+func (e *Engine) finishSnapshot(res *Result) *Result {
 	e.counters.CrowdsReturned.Add(uint64(len(res.Crowds)))
 	ngs := 0
 	for _, gs := range res.Gatherings {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/geo"
 	"repro/internal/trajectory"
 )
 
@@ -21,15 +22,56 @@ import (
 //     independent fleet) or for pure throughput benchmarks.
 //   - GridCell routes by the object's position at the start of the batch:
 //     objects in the same spatial cell share a shard, so local density —
-//     what crowds and gatherings are made of — is preserved, at the cost
-//     of boundary effects for groups straddling a cell edge and objects
-//     migrating shards between batches.
+//     what crowds and gatherings are made of — is preserved. With a
+//     positive Halo it additionally replicates objects near cell edges
+//     into every shard owning a nearby cell, which lets the snapshot-time
+//     merge restore groups that straddle a cell boundary (see merge.go).
 type Partitioner interface {
 	// Shard returns the shard in [0, n) for tr within a batch covering
 	// domain. Results outside [0, n) are reduced modulo n by the engine.
 	Shard(tr *trajectory.Trajectory, domain trajectory.TimeDomain, n int) int
 	// Name identifies the scheme in logs and diagnostics.
 	Name() string
+}
+
+// MultiShardPartitioner is the multi-shard routing mode: a partitioner
+// that can route one trajectory to several shards — a home shard plus
+// halo replicas. The engine fans a replicated trajectory into every
+// listed shard's sub-batch, so each shard sees the full local density
+// even for objects homed across a partition boundary; the resulting
+// duplicate discoveries are collapsed again at Snapshot time by the
+// cross-shard merge.
+type MultiShardPartitioner interface {
+	Partitioner
+	// ShardSet returns the target shards for tr (each in [0, n), no
+	// duplicates, home shard first), overwriting dst from its start and
+	// reusing its capacity — callers pass the previous result to avoid
+	// allocation, so implementations must truncate, not append. The home
+	// shard must equal Shard(tr, domain, n).
+	ShardSet(tr *trajectory.Trajectory, domain trajectory.TimeDomain, n int, dst []int) []int
+	// Replicates reports whether ShardSet can ever return more than the
+	// home shard under the current configuration. When false the engine
+	// skips both replica fan-out and the snapshot-time merge.
+	Replicates() bool
+}
+
+// normShard folds an arbitrary shard value into [0, n); the ingest fan-out
+// and the merge's owner rule must agree on it or canonical-owner dedup
+// breaks.
+func normShard(s, n int) int {
+	s %= n
+	if s < 0 {
+		s += n
+	}
+	return s
+}
+
+// PointRouter is implemented by spatial partitioners that can map a bare
+// location to the shard owning it. The snapshot merge uses it for the
+// canonical-owner rule: a crowd discovered by several shards is kept only
+// by the shard owning its first cluster's centroid.
+type PointRouter interface {
+	OwnerShard(p geo.Point, n int) int
 }
 
 // splitmix is the splitmix64 finaliser, used to turn IDs and cell
@@ -63,6 +105,27 @@ type GridCell struct {
 	// the expected diameter of a gathering site (a few × δ) so that most
 	// groups fit inside one cell.
 	CellSize float64
+
+	// Halo is the replication margin in metres. When positive, every
+	// trajectory is also routed to the shard of each cell within Halo of
+	// any of its positions during the batch, so a shard sees the complete
+	// neighbourhood of its own cells: groups straddling a cell edge are
+	// discovered whole by every adjacent shard and deduplicated at query
+	// time. It should cover the expected group diameter — a few × δ.
+	// Zero disables replication (single-shard routing, lossy at cell
+	// boundaries).
+	Halo float64
+}
+
+// cellShard hashes a cell coordinate pair onto a shard.
+func cellShard(cx, cy int64, n int) int {
+	h := splitmix(splitmix(uint64(cx)) ^ uint64(cy))
+	return int(h % uint64(n))
+}
+
+// cellOf returns the cell coordinates containing p.
+func (g GridCell) cellOf(p geo.Point) (int64, int64) {
+	return int64(math.Floor(p.X / g.CellSize)), int64(math.Floor(p.Y / g.CellSize))
 }
 
 // Shard implements Partitioner.
@@ -74,21 +137,78 @@ func (g GridCell) Shard(tr *trajectory.Trajectory, domain trajectory.TimeDomain,
 		}
 		p = tr.Samples[0].P
 	}
-	cx := int64(math.Floor(p.X / g.CellSize))
-	cy := int64(math.Floor(p.Y / g.CellSize))
-	h := splitmix(splitmix(uint64(cx)) ^ uint64(cy))
-	return int(h % uint64(n))
+	cx, cy := g.cellOf(p)
+	return cellShard(cx, cy, n)
 }
+
+// OwnerShard implements PointRouter: the shard of the cell containing p.
+// For a position at a batch's first tick this agrees with Shard.
+func (g GridCell) OwnerShard(p geo.Point, n int) int {
+	cx, cy := g.cellOf(p)
+	return cellShard(cx, cy, n)
+}
+
+// ShardSet implements MultiShardPartitioner. The home shard (identical to
+// Shard) comes first; with a positive Halo the set also contains the shard
+// of every cell whose region lies within Halo of any of the trajectory's
+// per-tick positions inside the batch domain. Routing by the whole trail —
+// not just the batch-start position — keeps moving objects replicated to
+// every shard whose neighbourhood they pass through, so crowd fragments
+// discovered by consecutive shards overlap in time and can be stitched
+// back together by the merge.
+func (g GridCell) ShardSet(tr *trajectory.Trajectory, domain trajectory.TimeDomain, n int, dst []int) []int {
+	dst = append(dst[:0], g.Shard(tr, domain, n))
+	if g.Halo <= 0 {
+		return dst
+	}
+	for t := 0; t < domain.N; t++ {
+		p, ok := tr.LocationAt(domain.TimeOf(trajectory.Tick(t)))
+		if !ok {
+			continue
+		}
+		x0 := int64(math.Floor((p.X - g.Halo) / g.CellSize))
+		x1 := int64(math.Floor((p.X + g.Halo) / g.CellSize))
+		y0 := int64(math.Floor((p.Y - g.Halo) / g.CellSize))
+		y1 := int64(math.Floor((p.Y + g.Halo) / g.CellSize))
+		for cx := x0; cx <= x1; cx++ {
+			for cy := y0; cy <= y1; cy++ {
+				s := cellShard(cx, cy, n)
+				seen := false
+				for _, have := range dst {
+					if have == s {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					dst = append(dst, s)
+				}
+			}
+		}
+		if len(dst) == n { // every shard already targeted
+			break
+		}
+	}
+	return dst
+}
+
+// Replicates implements MultiShardPartitioner: only a positive halo
+// margin produces replicas.
+func (g GridCell) Replicates() bool { return g.Halo > 0 }
 
 // Name implements Partitioner.
 func (g GridCell) Name() string { return "gridcell" }
 
 // Validate rejects non-positive cell sizes, which would otherwise turn
-// the cell arithmetic into ±Inf and collapse all routing onto one shard.
-// Config.Validate calls this through the optional validator interface.
+// the cell arithmetic into ±Inf and collapse all routing onto one shard,
+// and negative halo margins. Config.Validate calls this through the
+// optional validator interface.
 func (g GridCell) Validate() error {
 	if g.CellSize <= 0 {
 		return fmt.Errorf("engine: GridCell.CellSize must be > 0, got %v", g.CellSize)
+	}
+	if g.Halo < 0 {
+		return fmt.Errorf("engine: GridCell.Halo must be ≥ 0, got %v", g.Halo)
 	}
 	return nil
 }

@@ -86,7 +86,7 @@ func (s *Store) Append(batch *snapshot.CDB) {
 	lastTick := trajectory.Tick(s.cdb.Domain.N - 1)
 	newTailGathers := make(map[*crowd.Crowd][]*gathering.Gathering, len(res.Tail))
 	for _, cr := range res.Crowds {
-		gs := s.detect(cr, oldN)
+		gs := s.detect(cr)
 		if cr.End() < lastTick {
 			s.interior = append(s.interior, cr)
 			s.interiorGathers = append(s.interiorGathers, gs)
@@ -100,7 +100,7 @@ func (s *Store) Append(batch *snapshot.CDB) {
 
 // detect finds the closed gatherings of cr, using the gathering update of
 // Theorem 2 when cr extends an old candidate with cached gatherings.
-func (s *Store) detect(cr *crowd.Crowd, oldN trajectory.Tick) []*gathering.Gathering {
+func (s *Store) detect(cr *crowd.Crowd) []*gathering.Gathering {
 	origin := cr.Origin
 	if origin != nil && origin != cr {
 		if oldGs, ok := s.tailGathers[origin]; ok {
@@ -114,7 +114,6 @@ func (s *Store) detect(cr *crowd.Crowd, oldN trajectory.Tick) []*gathering.Gathe
 			return oldGs
 		}
 	}
-	_ = oldN
 	return gathering.TADStar(cr, s.gatherParams)
 }
 

@@ -13,16 +13,23 @@ import (
 // read a consistent-enough view with Snapshot.
 type EngineCounters struct {
 	// Ingest side.
-	BatchesEnqueued atomic.Uint64 // Append/TryAppend calls accepted
-	BatchesRejected atomic.Uint64 // TryAppend calls refused by a full queue
-	TasksApplied    atomic.Uint64 // per-shard sub-batches applied to a store
-	TicksIngested   atomic.Uint64 // ticks appended (counted once per batch)
-	ClustersBuilt   atomic.Uint64 // snapshot clusters produced while ingesting
+	BatchesEnqueued   atomic.Uint64 // Append/TryAppend calls accepted
+	BatchesRejected   atomic.Uint64 // TryAppend calls refused by a full queue
+	TasksApplied      atomic.Uint64 // per-shard sub-batches applied to a store
+	TicksIngested     atomic.Uint64 // ticks appended (counted once per batch)
+	ClustersBuilt     atomic.Uint64 // snapshot clusters produced while ingesting
+	ObjectsReplicated atomic.Uint64 // halo replica trajectory copies fanned into extra shards
 
 	// Query side.
 	Queries            atomic.Uint64 // snapshot queries served
 	CrowdsReturned     atomic.Uint64 // crowds returned across all queries
 	GatheringsReturned atomic.Uint64 // gatherings returned across all queries
+	// CrowdsDeduped and CrowdsStitched advance when the cross-shard merge
+	// recomputes — once per applied sub-batch, not per query (the merged
+	// state is memoized between applies) — so they track replication
+	// activity, not query rate.
+	CrowdsDeduped  atomic.Uint64 // duplicate/partial boundary-crowd copies dropped by the snapshot merge
+	CrowdsStitched atomic.Uint64 // crowd fragments fused into cross-shard crowds by the snapshot merge
 }
 
 // EngineCounterSnapshot is a point-in-time copy of EngineCounters.
@@ -32,9 +39,12 @@ type EngineCounterSnapshot struct {
 	TasksApplied       uint64
 	TicksIngested      uint64
 	ClustersBuilt      uint64
+	ObjectsReplicated  uint64
 	Queries            uint64
 	CrowdsReturned     uint64
 	GatheringsReturned uint64
+	CrowdsDeduped      uint64
+	CrowdsStitched     uint64
 }
 
 // Snapshot reads every counter once. Counters advance independently, so
@@ -47,9 +57,12 @@ func (c *EngineCounters) Snapshot() EngineCounterSnapshot {
 		TasksApplied:       c.TasksApplied.Load(),
 		TicksIngested:      c.TicksIngested.Load(),
 		ClustersBuilt:      c.ClustersBuilt.Load(),
+		ObjectsReplicated:  c.ObjectsReplicated.Load(),
 		Queries:            c.Queries.Load(),
 		CrowdsReturned:     c.CrowdsReturned.Load(),
 		GatheringsReturned: c.GatheringsReturned.Load(),
+		CrowdsDeduped:      c.CrowdsDeduped.Load(),
+		CrowdsStitched:     c.CrowdsStitched.Load(),
 	}
 }
 
@@ -60,7 +73,10 @@ func (s EngineCounterSnapshot) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "shard tasks applied: %d\n", s.TasksApplied)
 	fmt.Fprintf(w, "ticks ingested:      %d\n", s.TicksIngested)
 	fmt.Fprintf(w, "clusters built:      %d\n", s.ClustersBuilt)
+	fmt.Fprintf(w, "objects replicated:  %d\n", s.ObjectsReplicated)
 	fmt.Fprintf(w, "queries served:      %d\n", s.Queries)
 	fmt.Fprintf(w, "crowds returned:     %d\n", s.CrowdsReturned)
 	fmt.Fprintf(w, "gatherings returned: %d\n", s.GatheringsReturned)
+	fmt.Fprintf(w, "crowds deduped:      %d\n", s.CrowdsDeduped)
+	fmt.Fprintf(w, "crowds stitched:     %d\n", s.CrowdsStitched)
 }
