@@ -265,22 +265,32 @@ func BenchmarkEngineIngestShards2(b *testing.B) { benchEngineIngest(b, 2, engine
 func BenchmarkEngineIngestShards4(b *testing.B) { benchEngineIngest(b, 4, engine.ObjectHash{}) }
 func BenchmarkEngineIngestShards8(b *testing.B) { benchEngineIngest(b, 8, engine.ObjectHash{}) }
 
-// The halo variants measure the cost of recall-preserving spatial
-// sharding: boundary objects are replicated into adjacent shards (extra
-// clustering work) and deduplicated at query time.
-func BenchmarkEngineIngestShards4GridHalo(b *testing.B) {
-	benchEngineIngest(b, 4, engine.GridCell{CellSize: 3000, Halo: 1200})
-}
+// The grid variants measure spatial sharding without replication (halo 0,
+// lossy at cell boundaries) against the recall-preserving halo runs, at
+// every shard count — the halo-on/halo-off gap is the price of parity.
+// BENCH_ingest.json records this matrix.
+func BenchmarkEngineIngestShards1Grid(b *testing.B) { benchEngineIngestGrid(b, 1, 0) }
+func BenchmarkEngineIngestShards2Grid(b *testing.B) { benchEngineIngestGrid(b, 2, 0) }
+func BenchmarkEngineIngestShards4Grid(b *testing.B) { benchEngineIngestGrid(b, 4, 0) }
+func BenchmarkEngineIngestShards8Grid(b *testing.B) { benchEngineIngestGrid(b, 8, 0) }
 
-func BenchmarkEngineIngestShards8GridHalo(b *testing.B) {
-	benchEngineIngest(b, 8, engine.GridCell{CellSize: 3000, Halo: 1200})
+func BenchmarkEngineIngestShards1GridHalo(b *testing.B) { benchEngineIngestGrid(b, 1, 1200) }
+func BenchmarkEngineIngestShards2GridHalo(b *testing.B) { benchEngineIngestGrid(b, 2, 1200) }
+func BenchmarkEngineIngestShards4GridHalo(b *testing.B) { benchEngineIngestGrid(b, 4, 1200) }
+func BenchmarkEngineIngestShards8GridHalo(b *testing.B) { benchEngineIngestGrid(b, 8, 1200) }
+
+func benchEngineIngestGrid(b *testing.B, shards int, halo float64) {
+	benchEngineIngest(b, shards, engine.GridCell{CellSize: 3000, Halo: halo})
 }
 
 // benchEngineIngest measures wall-clock ingest of the whole batch stream.
 // The object-hash variants give even shard load, so the measured speed-up
-// is the sharding/concurrency win, not placement luck.
+// is the sharding/concurrency win, not placement luck. Replication volume
+// is reported as clusters/op (snapshot clusters built), objrep/op (object
+// replica deliveries) and clrep/op (cluster-view replica deliveries).
 func benchEngineIngest(b *testing.B, shards int, part engine.Partitioner) {
 	batches := benchEngineBatches()
+	var clusters, objRep, clRep uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng, err := engine.New(engine.Config{
@@ -298,8 +308,15 @@ func benchEngineIngest(b *testing.B, shards int, part engine.Partitioner) {
 			}
 		}
 		eng.Flush()
+		cs := eng.Counters().Snapshot()
+		clusters += cs.ClustersBuilt
+		objRep += cs.ObjectsReplicated
+		clRep += cs.ClustersReplicated
 		eng.Close()
 	}
+	b.ReportMetric(float64(clusters)/float64(b.N), "clusters/op")
+	b.ReportMetric(float64(objRep)/float64(b.N), "objrep/op")
+	b.ReportMetric(float64(clRep)/float64(b.N), "clrep/op")
 }
 
 // BenchmarkEngineQuerySnapshot measures query latency against a loaded

@@ -30,11 +30,12 @@ type (
 	// ObjectHashPartitioner shards uniformly by object ID (tenant-style
 	// isolation; spatial density splits across shards).
 	ObjectHashPartitioner = engine.ObjectHash
-	// GridCellPartitioner shards by spatial cell at the batch start, so
-	// co-located objects — the stuff of crowds — share a shard. With a
-	// positive Halo it replicates objects near cell edges into adjacent
-	// shards; the engine deduplicates the redundant discoveries at query
-	// time, so groups straddling a cell boundary are still found.
+	// GridCellPartitioner shards by spatial cell, so co-located objects —
+	// the stuff of crowds — share a shard. With a positive Halo the engine
+	// clusters each batch once globally and routes per-tick cluster views:
+	// a cluster lives on the shard owning its centroid's cell and shards
+	// owning cells within Halo receive views of it, so groups straddling a
+	// cell boundary are discovered whole and deduplicated at query time.
 	GridCellPartitioner = engine.GridCell
 )
 
@@ -51,10 +52,12 @@ var (
 // serving-oriented engine setup: one shard and one worker per CPU, and a
 // grid-cell partitioner with 3 km cells (10×δ, comfortably larger than a
 // gathering site) so spatial density stays intact within each shard. The
-// partitioner's halo margin of 4×δ replicates boundary objects into
-// adjacent shards, so groups straddling a cell edge are discovered whole
-// and deduplicated at query time — multi-shard recall matches a single
-// incremental store.
+// partitioner's halo margin of 4×δ enables the cluster-once pipeline:
+// each batch is clustered once globally and boundary clusters are shared
+// as views with adjacent shards, so groups straddling a cell edge are
+// discovered whole and deduplicated at query time — multi-shard recall
+// matches a single incremental store at roughly the single-pass
+// clustering cost.
 func DefaultEngineConfig() EngineConfig {
 	ncpu := runtime.GOMAXPROCS(0)
 	cfg := DefaultConfig()

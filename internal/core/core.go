@@ -157,10 +157,21 @@ func Discover(db *trajectory.DB, cfg Config) (*Discovery, error) {
 
 // BuildCDB runs phase 1 only: per-tick DBSCAN.
 func BuildCDB(db *trajectory.DB, cfg Config) *snapshot.CDB {
-	return snapshot.Build(db, snapshot.Options{
-		DBSCAN:      dbscan.Params{Eps: cfg.Eps, MinPts: cfg.MinPts},
-		Parallelism: cfg.Parallelism,
-	})
+	return snapshot.Build(db, cfg.SnapshotOptions(0))
+}
+
+// SnapshotOptions returns the phase-1 clustering options implied by the
+// config. A positive parallelism overrides cfg.Parallelism — the streaming
+// engine passes its worker count so a per-batch global build uses the
+// whole pool.
+func (c Config) SnapshotOptions(parallelism int) snapshot.Options {
+	if parallelism <= 0 {
+		parallelism = c.Parallelism
+	}
+	return snapshot.Options{
+		DBSCAN:      dbscan.Params{Eps: c.Eps, MinPts: c.MinPts},
+		Parallelism: parallelism,
+	}
 }
 
 // DiscoverCDB runs phases 2 and 3 on an existing cluster database.

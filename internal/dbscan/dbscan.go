@@ -23,78 +23,64 @@ const Noise = -1
 // cellKey identifies one grid cell.
 type cellKey struct{ x, y int32 }
 
-// grid is a uniform hash grid over the input points with cell side Eps.
-type grid struct {
-	eps   float64
-	cells map[cellKey][]int32 // point indices per cell
-}
+// cellSpan is one cell's bucket: idx[start : start+n] holds the indices of
+// the points in the cell. During grid construction n doubles as the fill
+// cursor.
+type cellSpan struct{ start, n int32 }
 
-func buildGrid(pts []geo.Point, eps float64) *grid {
-	g := &grid{eps: eps, cells: make(map[cellKey][]int32, len(pts)/2+1)}
-	for i, p := range pts {
-		k := g.key(p)
-		g.cells[k] = append(g.cells[k], int32(i))
-	}
-	return g
-}
+// Scratch holds the working memory of DBSCAN runs — the uniform grid, the
+// label and visited arrays and the expansion queues — so repeated calls
+// (one per snapshot tick) reuse buffers instead of reallocating them.
+// The zero value is ready to use. A Scratch is not safe for concurrent
+// use; give each goroutine its own.
+type Scratch struct {
+	cells map[cellKey]cellSpan
+	keys  []cellKey
+	idx   []int32
 
-func (g *grid) key(p geo.Point) cellKey {
-	return cellKey{int32(floorDiv(p.X, g.eps)), int32(floorDiv(p.Y, g.eps))}
-}
-
-func floorDiv(v, s float64) int {
-	q := v / s
-	i := int(q)
-	if q < 0 && float64(i) != q {
-		i--
-	}
-	return i
-}
-
-// neighbors appends to dst the indices of all points within eps of pts[i]
-// (including i itself) and returns dst.
-func (g *grid) neighbors(pts []geo.Point, i int, dst []int32) []int32 {
-	p := pts[i]
-	k := g.key(p)
-	e2 := g.eps * g.eps
-	for dx := int32(-1); dx <= 1; dx++ {
-		for dy := int32(-1); dy <= 1; dy++ {
-			for _, j := range g.cells[cellKey{k.x + dx, k.y + dy}] {
-				if pts[j].Dist2(p) <= e2 {
-					dst = append(dst, j)
-				}
-			}
-		}
-	}
-	return dst
+	labels  []int
+	visited []bool
+	queue   []int32
+	neigh   []int32
 }
 
 // Cluster runs DBSCAN over pts and returns a label per point: 0..k-1 for
 // the k clusters found, or Noise. Border points are assigned to the first
 // core point's cluster that reaches them, as in the original algorithm.
-func Cluster(pts []geo.Point, p Params) []int {
+// The returned slice is owned by the Scratch and valid only until its next
+// Cluster call; callers that keep labels across calls must copy them.
+func (s *Scratch) Cluster(pts []geo.Point, p Params) []int {
 	n := len(pts)
-	labels := make([]int, n)
+	if cap(s.labels) < n {
+		s.labels = make([]int, n)
+	}
+	labels := s.labels[:n]
 	for i := range labels {
 		labels[i] = Noise
 	}
 	if n == 0 || p.MinPts <= 0 || p.Eps <= 0 {
 		return labels
 	}
-	g := buildGrid(pts, p.Eps)
+	s.buildGrid(pts, p.Eps)
 
-	visited := make([]bool, n)
+	if cap(s.visited) < n {
+		s.visited = make([]bool, n)
+	}
+	visited := s.visited[:n]
+	for i := range visited {
+		visited[i] = false
+	}
 	var (
 		next    int // next cluster id
-		queue   []int32
-		scratch []int32
+		queue   = s.queue[:0]
+		scratch = s.neigh[:0]
 	)
 	for i := 0; i < n; i++ {
 		if visited[i] {
 			continue
 		}
 		visited[i] = true
-		scratch = g.neighbors(pts, i, scratch[:0])
+		scratch = s.neighbors(pts, p.Eps, i, scratch[:0])
 		if len(scratch) < p.MinPts {
 			continue // not a core point; may become a border point later
 		}
@@ -114,14 +100,99 @@ func Cluster(pts []geo.Point, p Params) []int {
 				continue
 			}
 			visited[j] = true
-			scratch = g.neighbors(pts, int(j), scratch[:0])
+			scratch = s.neighbors(pts, p.Eps, int(j), scratch[:0])
 			if len(scratch) >= p.MinPts {
 				// j is a core point: its neighbourhood joins the cluster.
 				queue = append(queue, scratch...)
 			}
 		}
 	}
+	s.queue, s.neigh = queue, scratch
 	return labels
+}
+
+// buildGrid rebuilds the uniform ε-grid over pts in place: one pass counts
+// points per cell, a prefix pass assigns each cell a span of the shared
+// index array, and a final pass fills the spans. The cell map and index
+// arrays are reused across calls, so steady-state construction allocates
+// nothing.
+func (s *Scratch) buildGrid(pts []geo.Point, eps float64) {
+	n := len(pts)
+	if s.cells == nil {
+		s.cells = make(map[cellKey]cellSpan, n/2+1)
+	} else {
+		clear(s.cells)
+	}
+	if cap(s.keys) < n {
+		s.keys = make([]cellKey, n)
+	}
+	if cap(s.idx) < n {
+		s.idx = make([]int32, n)
+	}
+	keys, idx := s.keys[:n], s.idx[:n]
+	for i, p := range pts {
+		k := keyOf(p, eps)
+		keys[i] = k
+		sp := s.cells[k]
+		sp.n++
+		s.cells[k] = sp
+	}
+	off := int32(0)
+	for k, sp := range s.cells {
+		count := sp.n
+		sp.start, sp.n = off, 0
+		s.cells[k] = sp
+		off += count
+	}
+	for i, k := range keys {
+		sp := s.cells[k]
+		idx[sp.start+sp.n] = int32(i)
+		sp.n++
+		s.cells[k] = sp
+	}
+}
+
+func keyOf(p geo.Point, eps float64) cellKey {
+	return cellKey{int32(floorDiv(p.X, eps)), int32(floorDiv(p.Y, eps))}
+}
+
+func floorDiv(v, s float64) int {
+	q := v / s
+	i := int(q)
+	if q < 0 && float64(i) != q {
+		i--
+	}
+	return i
+}
+
+// neighbors appends to dst the indices of all points within eps of pts[i]
+// (including i itself) and returns dst.
+func (s *Scratch) neighbors(pts []geo.Point, eps float64, i int, dst []int32) []int32 {
+	p := pts[i]
+	k := keyOf(p, eps)
+	e2 := eps * eps
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			sp, ok := s.cells[cellKey{k.x + dx, k.y + dy}]
+			if !ok {
+				continue
+			}
+			for _, j := range s.idx[sp.start : sp.start+sp.n] {
+				if pts[j].Dist2(p) <= e2 {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Cluster is the one-shot form: it runs DBSCAN with fresh working memory.
+// Loops that cluster many snapshots should hold a Scratch and call its
+// Cluster method instead.
+func Cluster(pts []geo.Point, p Params) []int {
+	var s Scratch
+	return s.Cluster(pts, p)
 }
 
 // Groups converts a label slice into index groups, one per cluster, with

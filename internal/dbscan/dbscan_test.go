@@ -279,3 +279,33 @@ func TestClusterLargeUniform(t *testing.T) {
 	}
 	_ = math.Pi
 }
+
+// TestScratchReuseMatchesFresh drives one Scratch through many differently
+// sized inputs — the snapshot.Build per-tick pattern — and checks every
+// labelling is identical to a fresh-memory run: stale grid cells, visited
+// flags or queue contents from a previous call must never leak.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	var s Scratch
+	for trial := 0; trial < 40; trial++ {
+		n := r.Intn(300) // includes empty and tiny inputs
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			cx := float64(r.Intn(5)) * 150
+			cy := float64(r.Intn(5)) * 150
+			pts[i] = geo.Point{X: cx + r.NormFloat64()*10 - 200, Y: cy + r.NormFloat64()*10 - 200}
+		}
+		p := Params{Eps: 8 + r.Float64()*12, MinPts: 2 + r.Intn(4)}
+		got := s.Cluster(pts, p)
+		want := Cluster(pts, p)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d labels, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d point %d: reused scratch labelled %d, fresh %d",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -2,29 +2,46 @@
 // §III-C incremental algorithm: a thread-safe, sharded discovery service
 // that ingests trajectory batches while answering snapshot queries.
 //
-// An Engine owns N incremental.Store shards. Each incoming batch is split
-// by a pluggable Partitioner (object hash or spatial grid cell), clustered
-// per shard by a worker pool, and applied to the shard's store under its
-// write lock — so the expensive DBSCAN pass runs in parallel and lock-free
-// while the cheap store update is serialised per shard. Batches flow
-// through a bounded queue: Append blocks when it is full (backpressure),
-// TryAppend refuses instead. Per-shard sequence numbers keep batch order
-// even when several workers race on one shard's tasks.
+// An Engine owns N incremental.Store shards fed through a bounded queue:
+// Append blocks when it is full (backpressure), TryAppend refuses instead.
+// Per-shard sequence numbers keep batch order even when several workers
+// race on one shard's tasks. How a batch reaches the shards depends on the
+// Partitioner's routing mode:
+//
+//   - Cluster-once ingest (ClusterRouter — GridCell with a positive Halo,
+//     what DefaultEngineConfig and the gatherserve -halo default install).
+//     The batch is DBSCAN-clustered exactly once, globally, with per-tick
+//     parallelism across the worker pool — the same clusters a single
+//     store would build. Each snapshot cluster is then routed to the shard
+//     owning its centroid's cell, and every shard owning a cell within
+//     Halo of the cluster receives a view of the same *snapshot.Cluster.
+//     Workers only apply the pre-clustered per-shard CDBs under the write
+//     locks, so clustering cost no longer scales with the replication
+//     factor (ClustersBuilt counts each cluster once; ClustersReplicated
+//     tracks the views). Crowds discovered redundantly along cell borders
+//     have pointer-identical clusters by construction, and the
+//     snapshot-time merge (merge.go) collapses duplicates, absorbs
+//     tick-cropped views and stitches fragments of moving crowds back
+//     together, so multi-shard recall matches a single incremental store.
+//
+//   - Single-shard routing (ObjectHash, or a zero-Halo GridCell). Each
+//     trajectory lands on exactly one shard, each shard's sub-batch is
+//     clustered by the worker pool independently, and no merge runs: the
+//     shards are independent discovery domains. Groups the partitioner
+//     scatters are lost; choose this mode for tenant isolation or raw
+//     throughput, not for recall-sensitive discovery.
+//
+//   - Legacy replicating fan-out (a MultiShardPartitioner without
+//     ClusterShards). Trajectories near cell edges are copied into every
+//     nearby shard's sub-batch and each shard re-clusters its copies —
+//     recall-preserving like cluster-once, but paying the 3–5× redundant
+//     clustering the cluster-once pipeline exists to avoid. Kept for
+//     custom partitioners that cannot route bare clusters.
 //
 // Queries read the current closed crowds and gatherings under per-shard
 // read locks: each shard's answer is internally consistent; across shards
 // a query may observe different ingest frontiers (use Flush for a global
-// barrier). Each shard is an independent discovery domain, but sharding
-// need not change the answer set: with a replicating partitioner (GridCell
-// with a positive Halo — what the library's DefaultEngineConfig and the
-// gatherserve -halo default install), objects near a cell edge are
-// replicated into every shard owning a nearby cell, and a snapshot-time
-// merge deduplicates the redundant discoveries and stitches boundary
-// fragments back together (see merge.go), so multi-shard recall matches a
-// single incremental store. Single-shard routing schemes — ObjectHash, or
-// a zero-value GridCell, whose Halo defaults to 0 — still lose groups the
-// partitioner scatters; choose them for tenant isolation or raw
-// throughput, not for recall-sensitive discovery.
+// barrier).
 package engine
 
 import (
@@ -39,6 +56,7 @@ import (
 	"repro/internal/gathering"
 	"repro/internal/geo"
 	"repro/internal/incremental"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/trajectory"
 )
@@ -117,11 +135,15 @@ var (
 	ErrClosed = errors.New("engine: closed")
 )
 
-// task is one shard's slice of an ingested batch.
+// task is one shard's slice of an ingested batch: either a trajectory
+// sub-batch the worker still has to cluster (single-shard routing), or a
+// pre-clustered per-shard CDB from the cluster-once pipeline, which the
+// worker only applies.
 type task struct {
 	shard int
 	seq   uint64 // per-shard apply order
 	batch *trajectory.DB
+	cdb   *snapshot.CDB
 }
 
 // shard pairs an incremental store with its locks. mu guards the store;
@@ -149,11 +171,17 @@ type Engine struct {
 	gatherParams gathering.Params
 	// multi and router are set together — and only — when the partitioner
 	// actually replicates (MultiShardPartitioner with Replicates() true):
-	// multi fans halo replicas on ingest, router maps a point to its
+	// multi marks the replicating regime, router maps a point to its
 	// owning shard for the snapshot merge. Both nil for single-shard
-	// routing, which skips the merge entirely.
-	multi  MultiShardPartitioner
-	router PointRouter
+	// routing, which skips the merge entirely. clusterRoute is set when
+	// the partitioner additionally implements ClusterRouter (GridCell
+	// does): batches are then clustered once globally and the shards
+	// receive per-tick cluster views instead of raw trajectory replicas.
+	// A replicating partitioner without ClusterRouter falls back to the
+	// legacy fan-out (replicate trajectories, cluster per shard).
+	multi        MultiShardPartitioner
+	router       PointRouter
+	clusterRoute ClusterRouter
 
 	// mergeMu guards the memoized cross-shard merge: the merged, sorted
 	// crowd list is recomputed only when a sub-batch has been applied
@@ -165,17 +193,24 @@ type Engine struct {
 	mergeCache []shardCrowd
 	mergeTicks int
 
+	// buildMu serialises the cluster-once global DBSCAN pass across
+	// concurrent appenders: each build already fans per-tick work across
+	// Workers goroutines, so admitting one at a time keeps total
+	// clustering parallelism bounded by the configured worker count.
+	buildMu sync.Mutex
+
 	// enqMu serialises sequence assignment and queue sends so the queue's
 	// FIFO order agrees with per-shard sequence order (workers would
 	// deadlock waiting for an out-of-order predecessor otherwise). Free
 	// capacity is tracked explicitly in qFree so admission waits on
 	// enqCond, never parked inside a channel send while holding enqMu —
 	// that would stall TryAppend and Close behind a blocked Append.
-	enqMu   sync.Mutex
-	enqCond *sync.Cond
-	qFree   int // queue slots not yet promised to a batch
-	seq     uint64
-	closed  bool
+	enqMu    sync.Mutex
+	enqCond  *sync.Cond
+	qFree    int // queue slots not yet promised to a batch
+	inflight int // batches holding reserved slots but not yet published
+	seq      uint64
+	closed   bool
 
 	// pending tracks enqueued-but-unapplied tasks for Flush.
 	pendMu   sync.Mutex
@@ -217,6 +252,9 @@ func newEngine(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("engine: partitioner %s replicates (ShardSet) but implements no PointRouter for the snapshot merge", m.Name())
 		}
 		e.multi, e.router = m, r
+		if cr, ok := cfg.Partitioner.(ClusterRouter); ok {
+			e.clusterRoute = cr
+		}
 	}
 	e.enqCond = sync.NewCond(&e.enqMu)
 	e.pendCond = sync.NewCond(&e.pendMu)
@@ -262,56 +300,153 @@ func (e *Engine) start() {
 func (e *Engine) Append(batch *trajectory.DB) error { return e.enqueue(batch, true) }
 
 // TryAppend is Append without the blocking: it returns ErrQueueFull when
-// the queue cannot take the whole batch right now.
+// the batch cannot be taken right now — the queue is full, or (under
+// cluster-once routing) the global clustering stage is busy with another
+// appender's batch.
 func (e *Engine) TryAppend(batch *trajectory.DB) error { return e.enqueue(batch, false) }
 
 func (e *Engine) enqueue(batch *trajectory.DB, wait bool) error {
-	subs := e.split(batch)
+	n := e.cfg.Shards
+	clusterOnce := e.clusterRoute != nil && n > 1
 
+	// Phase 1 — admission: reserve the batch's n queue slots before any
+	// routing work, so a batch that cannot be accepted costs nothing
+	// (Append parks here under backpressure, TryAppend fails fast) and an
+	// accepted batch's sends in phase 3 can never block. inflight keeps
+	// Close from shutting the queue while a reservation is outstanding.
 	e.enqMu.Lock()
-	defer e.enqMu.Unlock()
-	for e.qFree < len(subs) {
+	for e.qFree < n {
 		if e.closed {
+			e.enqMu.Unlock()
 			return ErrClosed
 		}
 		if !wait {
+			e.enqMu.Unlock()
 			e.counters.BatchesRejected.Add(1)
 			return ErrQueueFull
 		}
-		e.enqCond.Wait() // backpressure: parked without the sends below
+		e.enqCond.Wait() // backpressure: parked before any routing work
 	}
 	if e.closed {
+		e.enqMu.Unlock()
 		return ErrClosed
 	}
-	// qFree slots are reserved for us, so every send below is buffered
-	// and returns immediately — enqMu is never held across a park.
-	e.qFree -= len(subs)
+	e.qFree -= n
+	e.inflight++
+	e.enqMu.Unlock()
+
+	// Phase 2 — route. Cluster-once: the whole batch is DBSCAN-clustered
+	// here, once, on the appender's goroutine (per-tick parallelism
+	// across the worker count), and the shards are handed pre-clustered
+	// views — the workers only apply them. buildMu admits one global
+	// build at a time so concurrent appenders cannot multiply clustering
+	// parallelism past the worker count; TryAppend refuses instead of
+	// queueing behind another appender's build, keeping its no-blocking
+	// contract. Otherwise each shard's task carries raw trajectories and
+	// the worker clusters them. Routing counters are deferred to phase 3:
+	// a dropped batch must not advance them.
+	var cdbs []*snapshot.CDB
+	var subs []*trajectory.DB
+	var stat routeStats
+	if clusterOnce {
+		if wait {
+			e.buildMu.Lock()
+		} else if !e.buildMu.TryLock() {
+			e.abandon(n)
+			e.counters.BatchesRejected.Add(1)
+			return ErrQueueFull
+		}
+		cdbs, stat = e.routeClusters(batch)
+		e.buildMu.Unlock()
+	} else {
+		subs, stat = e.split(batch)
+	}
+
+	// Phase 3 — publish: assign the batch sequence number and send the
+	// shard tasks in one enqMu critical section, so queue FIFO order
+	// agrees with per-shard sequence order (workers would deadlock on an
+	// out-of-order predecessor otherwise). The phase-1 reservation makes
+	// every send buffered — enqMu is never held across a park. A Close
+	// that raced with phase 2 wins: the batch is dropped and its slots
+	// returned before Close shuts the queue.
+	e.enqMu.Lock()
+	defer e.enqMu.Unlock()
+	e.inflight--
+	if e.closed {
+		e.qFree += n
+		e.enqCond.Broadcast() // wake Close waiting for inflight to drain
+		return ErrClosed
+	}
+	stat.apply(&e.counters)
 	seq := e.seq
 	e.seq++
 	e.pendMu.Lock()
-	e.pending += len(subs)
+	e.pending += n
 	e.pendMu.Unlock()
-	for i, sub := range subs {
-		e.queue <- task{shard: i, seq: seq, batch: sub}
+	for i := 0; i < n; i++ {
+		t := task{shard: i, seq: seq}
+		if cdbs != nil {
+			t.cdb = cdbs[i]
+		} else {
+			t.batch = subs[i]
+		}
+		e.queue <- t
 	}
 	e.counters.BatchesEnqueued.Add(1)
 	e.counters.TicksIngested.Add(uint64(batch.Domain.N))
 	return nil
 }
 
+// abandon returns a phase-1 reservation unused (busy build stage or a
+// Close racing ahead), waking slot waiters and a draining Close.
+func (e *Engine) abandon(n int) {
+	e.enqMu.Lock()
+	e.qFree += n
+	e.inflight--
+	e.enqCond.Broadcast()
+	e.enqMu.Unlock()
+}
+
+// routeStats carries the routing counters of one prepared batch; they are
+// folded into the engine counters only once the batch is admitted, so a
+// rejected TryAppend leaves no trace beyond BatchesRejected.
+type routeStats struct {
+	clustersBuilt      int
+	clustersReplicated int
+	objectsReplicated  int
+}
+
+func (s routeStats) apply(c *stats.EngineCounters) {
+	if s.clustersBuilt > 0 {
+		c.ClustersBuilt.Add(uint64(s.clustersBuilt))
+	}
+	if s.clustersReplicated > 0 {
+		c.ClustersReplicated.Add(uint64(s.clustersReplicated))
+	}
+	if s.objectsReplicated > 0 {
+		c.ObjectsReplicated.Add(uint64(s.objectsReplicated))
+	}
+}
+
 // split partitions the batch's trajectories into one sub-batch per shard.
 // Every shard gets a sub-batch — possibly with no trajectories — because
 // each store must still advance its time domain by the batch's ticks.
-// With a MultiShardPartitioner a trajectory may land in several sub-batches
-// (home shard plus halo replicas); replicas are counted in
-// ObjectsReplicated and collapsed again by the snapshot merge.
-func (e *Engine) split(batch *trajectory.DB) []*trajectory.DB {
-	subs := make([]*trajectory.DB, e.cfg.Shards)
-	for i := range subs {
-		subs[i] = &trajectory.DB{Domain: batch.Domain}
-	}
+// With a MultiShardPartitioner (and no ClusterRouter — the legacy
+// replicating fan-out) a trajectory may land in several sub-batches (home
+// shard plus halo replicas); replicas are reported in the returned stats
+// and collapsed again by the snapshot merge. Sub-batch and routing slices
+// are pre-sized so steady-state splitting never grows an append.
+func (e *Engine) split(batch *trajectory.DB) ([]*trajectory.DB, routeStats) {
 	n := e.cfg.Shards
-	var targets []int
+	subs := make([]*trajectory.DB, n)
+	per := len(batch.Trajs)/n + 1
+	for i := range subs {
+		subs[i] = &trajectory.DB{
+			Domain: batch.Domain,
+			Trajs:  make([]trajectory.Trajectory, 0, per),
+		}
+	}
+	targets := make([]int, 0, n)
 	replicated := 0
 	for i := range batch.Trajs {
 		tr := &batch.Trajs[i]
@@ -337,17 +472,66 @@ func (e *Engine) split(batch *trajectory.DB) []*trajectory.DB {
 		s := normShard(e.cfg.Partitioner.Shard(tr, batch.Domain, n), n)
 		subs[s].Trajs = append(subs[s].Trajs, *tr)
 	}
-	if replicated > 0 {
-		e.counters.ObjectsReplicated.Add(uint64(replicated))
-	}
-	return subs
+	return subs, routeStats{objectsReplicated: replicated}
 }
 
-// apply clusters one shard task (outside any lock) and applies it to the
-// shard's store in sequence order.
+// routeClusters is the cluster-once ingest stage: one global DBSCAN pass
+// over the batch (per-tick parallelism across the worker pool, exactly the
+// clusters a single store would build), then a cluster-granularity fan-out
+// — each cluster goes to the shard owning its centroid, and halo-adjacent
+// shards receive a view of the same *snapshot.Cluster. Duplicate crowd
+// discoveries therefore have identical per-tick membership by construction
+// and the snapshot merge collapses them with pointer-equality fast paths.
+// ClustersBuilt counts the global pass once per batch: it no longer scales
+// with the replication factor; ClustersReplicated and ObjectsReplicated
+// track the extra view deliveries (all via the returned stats, applied on
+// admission).
+func (e *Engine) routeClusters(batch *trajectory.DB) ([]*snapshot.CDB, routeStats) {
+	cdb := snapshot.Build(batch, e.cfg.Pipeline.SnapshotOptions(e.cfg.Workers))
+	stat := routeStats{clustersBuilt: cdb.NumClusters()}
+
+	n := e.cfg.Shards
+	out := make([]*snapshot.CDB, n)
+	for s := range out {
+		out[s] = &snapshot.CDB{
+			Domain:   cdb.Domain,
+			Clusters: make([][]*snapshot.Cluster, cdb.Domain.N),
+		}
+	}
+	targets := make([]int, 0, n)
+	for t, cls := range cdb.Clusters {
+		for _, cl := range cls {
+			targets = e.clusterRoute.ClusterShards(centroid(cl), cl.MBR(), n, targets[:0])
+			delivered := 0
+			for _, s := range targets {
+				s = normShard(s, n)
+				// Out-of-range ClusterShards values may fold onto a shard
+				// already holding this cluster; it would be that shard's
+				// last append, so one look suffices to dedupe.
+				if prev := out[s].Clusters[t]; len(prev) > 0 && prev[len(prev)-1] == cl {
+					continue
+				}
+				out[s].Clusters[t] = append(out[s].Clusters[t], cl)
+				delivered++
+			}
+			if delivered > 1 {
+				stat.clustersReplicated += delivered - 1
+				stat.objectsReplicated += (delivered - 1) * cl.Len()
+			}
+		}
+	}
+	return out, stat
+}
+
+// apply brings one shard task to its store in sequence order. A task from
+// the cluster-once pipeline already carries its per-shard CDB; a raw
+// sub-batch is clustered here (outside any lock) first.
 func (e *Engine) apply(t task) {
-	cdb := core.BuildCDB(t.batch, e.cfg.Pipeline)
-	e.counters.ClustersBuilt.Add(uint64(cdb.NumClusters()))
+	cdb := t.cdb
+	if cdb == nil {
+		cdb = core.BuildCDB(t.batch, e.cfg.Pipeline)
+		e.counters.ClustersBuilt.Add(uint64(cdb.NumClusters()))
+	}
 
 	sh := e.shards[t.shard]
 	sh.mu.Lock()
@@ -405,7 +589,9 @@ func (e *Engine) Flush() {
 }
 
 // Close stops accepting batches, drains the queue and stops the workers.
-// It is idempotent; queries remain valid after Close.
+// It is idempotent; queries remain valid after Close. Batches still in
+// their routing phase are dropped: their reservations are waited out so
+// the queue channel never closes under a pending send.
 func (e *Engine) Close() {
 	e.enqMu.Lock()
 	if e.closed {
@@ -413,8 +599,11 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	close(e.queue)
 	e.enqCond.Broadcast() // wake parked appenders; they return ErrClosed
+	for e.inflight > 0 {
+		e.enqCond.Wait() // in-flight batches abandon in phase 3
+	}
+	close(e.queue)
 	e.enqMu.Unlock()
 	e.wg.Wait()
 }

@@ -22,6 +22,15 @@
 // branched crowds share equal-or-disjoint clusters per tick, so absorption
 // and stitching — which require proper overlap — only ever fuse cross-shard
 // copies of the same underlying crowd, never two genuinely distinct ones.
+//
+// Under the cluster-once ingest pipeline (ClusterRouter partitioners, the
+// default), the shards' crowds are built from views of the same global
+// *snapshot.Cluster values, so cross-shard copies of one crowd hold
+// pointer-identical clusters at every shared tick: duplicates are exact,
+// absorption reduces to a tick-range crop, and the set comparisons below
+// short-circuit on pointer equality instead of walking member lists. The
+// element-wise paths remain for the legacy fan-out (replicated raw
+// trajectories clustered per shard), where copies are equal by value only.
 package engine
 
 import (
@@ -187,6 +196,9 @@ func crowdSig(cr *crowd.Crowd) string {
 
 // clusterSubset reports whether a's objects are all in b (both sorted).
 func clusterSubset(a, b *snapshot.Cluster) bool {
+	if a == b {
+		return true // shared cluster view
+	}
 	if a.Len() > b.Len() {
 		return false
 	}
@@ -205,6 +217,9 @@ func clusterSubset(a, b *snapshot.Cluster) bool {
 
 // clustersIntersect reports whether two clusters share an object.
 func clustersIntersect(a, b *snapshot.Cluster) bool {
+	if a == b {
+		return a.Len() > 0 // shared cluster view
+	}
 	i, j := 0, 0
 	for i < a.Len() && j < b.Len() {
 		switch {
@@ -288,9 +303,21 @@ func stitchCrowds(frags []*crowd.Crowd) *crowd.Crowd {
 
 // unionClusters unions the member sets of clusters observed at one tick.
 // Replicated objects carry identical interpolated positions in every
-// shard, so duplicates are dropped by ID.
+// shard, so duplicates are dropped by ID. Shared cluster views make the
+// union trivial: fragments of one crowd hold the same pointer at a shared
+// tick, so no member merge is needed.
 func unionClusters(cls []*snapshot.Cluster) *snapshot.Cluster {
 	if len(cls) == 1 {
+		return cls[0]
+	}
+	same := true
+	for _, cl := range cls[1:] {
+		if cl != cls[0] {
+			same = false
+			break
+		}
+	}
+	if same {
 		return cls[0]
 	}
 	n := 0

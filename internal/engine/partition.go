@@ -74,6 +74,26 @@ type PointRouter interface {
 	OwnerShard(p geo.Point, n int) int
 }
 
+// ClusterRouter is the cluster-granularity routing mode behind the
+// cluster-once ingest pipeline: the engine clusters each batch globally
+// (one DBSCAN pass per tick, exactly as a single store would) and then
+// routes every resulting snapshot cluster — instead of raw trajectory
+// replicas — to the shards that must see it. A partitioner implementing it
+// upgrades the engine's replicating path from "replicate objects, cluster
+// per shard" to "cluster once, ship views": the owner shard holds the
+// cluster, halo-adjacent shards receive a read-only view of the same
+// *snapshot.Cluster so their crowd fragments overlap the owner's and the
+// snapshot merge can dedup and stitch them by construction.
+type ClusterRouter interface {
+	PointRouter
+	// ClusterShards returns the target shards for a cluster with the given
+	// centroid and bounding box (owner first, no duplicates), overwriting
+	// dst from its start and reusing its capacity as ShardSet does. The
+	// owner must equal OwnerShard(centroid, n). Results outside [0, n) are
+	// folded by the engine with normShard.
+	ClusterShards(centroid geo.Point, mbr geo.Rect, n int, dst []int) []int
+}
+
 // splitmix is the splitmix64 finaliser, used to turn IDs and cell
 // coordinates into well-mixed shard choices.
 func splitmix(x uint64) uint64 {
@@ -166,30 +186,58 @@ func (g GridCell) ShardSet(tr *trajectory.Trajectory, domain trajectory.TimeDoma
 		if !ok {
 			continue
 		}
-		x0 := int64(math.Floor((p.X - g.Halo) / g.CellSize))
-		x1 := int64(math.Floor((p.X + g.Halo) / g.CellSize))
-		y0 := int64(math.Floor((p.Y - g.Halo) / g.CellSize))
-		y1 := int64(math.Floor((p.Y + g.Halo) / g.CellSize))
-		for cx := x0; cx <= x1; cx++ {
-			for cy := y0; cy <= y1; cy++ {
-				s := cellShard(cx, cy, n)
-				seen := false
-				for _, have := range dst {
-					if have == s {
-						seen = true
-						break
-					}
-				}
-				if !seen {
-					dst = append(dst, s)
-				}
-			}
-		}
+		dst = g.appendHaloShards(dst, geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, n)
 		if len(dst) == n { // every shard already targeted
 			break
 		}
 	}
 	return dst
+}
+
+// appendHaloShards appends (deduped) the shard of every cell whose region
+// lies within Halo of the rectangle, stopping early once all n shards are
+// targeted. It is the one halo scan shared by trajectory routing
+// (ShardSet, per-tick positions) and cluster-view routing (ClusterShards,
+// the cluster MBR), so the two routing modes cannot drift apart.
+func (g GridCell) appendHaloShards(dst []int, r geo.Rect, n int) []int {
+	x0 := int64(math.Floor((r.MinX - g.Halo) / g.CellSize))
+	x1 := int64(math.Floor((r.MaxX + g.Halo) / g.CellSize))
+	y0 := int64(math.Floor((r.MinY - g.Halo) / g.CellSize))
+	y1 := int64(math.Floor((r.MaxY + g.Halo) / g.CellSize))
+	for cx := x0; cx <= x1; cx++ {
+		for cy := y0; cy <= y1; cy++ {
+			s := cellShard(cx, cy, n)
+			seen := false
+			for _, have := range dst {
+				if have == s {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				dst = append(dst, s)
+				if len(dst) == n {
+					return dst
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// ClusterShards implements ClusterRouter: the owner shard of the cell
+// containing the centroid, plus the shard of every cell whose region lies
+// within Halo of the cluster's bounding box. A crowd moves at most δ per
+// tick (Definition 2) and Halo defaults to 4×δ, so consecutive owners of a
+// moving crowd keep receiving its views for several ticks after handing it
+// over — enough shared ticks for the snapshot merge to stitch their
+// fragments back together.
+func (g GridCell) ClusterShards(c geo.Point, mbr geo.Rect, n int, dst []int) []int {
+	dst = append(dst[:0], g.OwnerShard(c, n))
+	if g.Halo <= 0 || n <= 1 {
+		return dst
+	}
+	return g.appendHaloShards(dst, mbr, n)
 }
 
 // Replicates implements MultiShardPartitioner: only a positive halo

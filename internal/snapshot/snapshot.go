@@ -116,7 +116,10 @@ type Options struct {
 
 // Build interpolates db onto its time domain and clusters every tick,
 // returning the cluster database. Ticks are independent, so with
-// Options.Parallelism > 1 they are processed by a worker pool.
+// Options.Parallelism > 1 they are processed by a worker pool. Each worker
+// owns one buildScratch, so the interpolation buffer and the DBSCAN
+// working memory (grid, labels, queues) are reused across all the ticks it
+// handles — only the emitted clusters allocate.
 func Build(db *trajectory.DB, opt Options) *CDB {
 	out := &CDB{
 		Domain:   db.Domain,
@@ -126,10 +129,9 @@ func Build(db *trajectory.DB, opt Options) *CDB {
 		return out
 	}
 	if opt.Parallelism < 2 {
-		var snap []trajectory.ObjPoint
+		var sc buildScratch
 		for t := 0; t < db.Domain.N; t++ {
-			snap = db.Snapshot(trajectory.Tick(t), snap)
-			out.Clusters[t] = clusterSnapshot(trajectory.Tick(t), snap, opt)
+			out.Clusters[t] = sc.clusterTick(db, trajectory.Tick(t), opt)
 		}
 		return out
 	}
@@ -140,10 +142,9 @@ func Build(db *trajectory.DB, opt Options) *CDB {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var snap []trajectory.ObjPoint
+			var sc buildScratch
 			for t := range ticks {
-				snap = db.Snapshot(trajectory.Tick(t), snap)
-				out.Clusters[t] = clusterSnapshot(trajectory.Tick(t), snap, opt)
+				out.Clusters[t] = sc.clusterTick(db, trajectory.Tick(t), opt)
 			}
 		}()
 	}
@@ -155,30 +156,91 @@ func Build(db *trajectory.DB, opt Options) *CDB {
 	return out
 }
 
-// clusterSnapshot runs DBSCAN on one tick's snapshot and materialises the
-// resulting clusters.
-func clusterSnapshot(t trajectory.Tick, snap []trajectory.ObjPoint, opt Options) []*Cluster {
+// buildScratch is one worker's reusable tick-clustering state.
+type buildScratch struct {
+	snap   []trajectory.ObjPoint
+	pts    []geo.Point
+	counts []int32
+	starts []int32
+	dbscan dbscan.Scratch
+}
+
+// clusterTick interpolates one tick's snapshot, runs DBSCAN on it and
+// materialises the resulting clusters. Everything but the clusters
+// themselves comes from — and returns to — the scratch buffers.
+func (sc *buildScratch) clusterTick(db *trajectory.DB, t trajectory.Tick, opt Options) []*Cluster {
+	sc.snap = db.Snapshot(t, sc.snap)
+	snap := sc.snap
 	if len(snap) == 0 {
 		return nil
 	}
-	pts := make([]geo.Point, len(snap))
+	if cap(sc.pts) < len(snap) {
+		sc.pts = make([]geo.Point, len(snap))
+	}
+	pts := sc.pts[:len(snap)]
 	for i, op := range snap {
 		pts[i] = op.P
 	}
-	labels := dbscan.Cluster(pts, opt.DBSCAN)
-	groups := dbscan.Groups(labels)
-	clusters := make([]*Cluster, 0, len(groups))
-	for _, g := range groups {
-		if len(g) < opt.MinSize {
+	labels := sc.dbscan.Cluster(pts, opt.DBSCAN)
+
+	// Size the clusters with a counting pass, then cut each surviving one
+	// a capped window of two shared flat arrays — two allocations for the
+	// whole tick instead of two per cluster. counts is reused as the
+	// per-cluster fill cursor; starts marks dropped clusters with -1.
+	k := 0
+	for _, l := range labels {
+		if l >= k {
+			k = l + 1
+		}
+	}
+	if k == 0 {
+		return nil
+	}
+	if cap(sc.counts) < k {
+		sc.counts = make([]int32, k)
+		sc.starts = make([]int32, k)
+	}
+	counts, starts := sc.counts[:k], sc.starts[:k]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, l := range labels {
+		if l >= 0 {
+			counts[l]++
+		}
+	}
+	total, kept := int32(0), 0
+	for c, n := range counts {
+		if int(n) >= opt.MinSize {
+			starts[c] = total
+			total += n
+			kept++
+		} else {
+			starts[c] = -1
+		}
+		counts[c] = 0
+	}
+	if kept == 0 {
+		return nil
+	}
+	flatObjs := make([]trajectory.ObjectID, total)
+	flatPts := make([]geo.Point, total)
+	for i, l := range labels {
+		if l < 0 || starts[l] < 0 {
 			continue
 		}
-		objs := make([]trajectory.ObjectID, len(g))
-		cpts := make([]geo.Point, len(g))
-		for k, i := range g {
-			objs[k] = snap[i].ID
-			cpts[k] = snap[i].P
+		at := starts[l] + counts[l]
+		flatObjs[at] = snap[i].ID
+		flatPts[at] = snap[i].P
+		counts[l]++
+	}
+	clusters := make([]*Cluster, 0, kept)
+	for c, a := range starts {
+		if a < 0 {
+			continue
 		}
-		clusters = append(clusters, NewCluster(t, objs, cpts))
+		b := a + counts[c]
+		clusters = append(clusters, NewCluster(t, flatObjs[a:b:b], flatPts[a:b:b]))
 	}
 	return clusters
 }

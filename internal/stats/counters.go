@@ -13,12 +13,23 @@ import (
 // read a consistent-enough view with Snapshot.
 type EngineCounters struct {
 	// Ingest side.
-	BatchesEnqueued   atomic.Uint64 // Append/TryAppend calls accepted
-	BatchesRejected   atomic.Uint64 // TryAppend calls refused by a full queue
-	TasksApplied      atomic.Uint64 // per-shard sub-batches applied to a store
-	TicksIngested     atomic.Uint64 // ticks appended (counted once per batch)
-	ClustersBuilt     atomic.Uint64 // snapshot clusters produced while ingesting
-	ObjectsReplicated atomic.Uint64 // halo replica trajectory copies fanned into extra shards
+	BatchesEnqueued atomic.Uint64 // Append/TryAppend calls accepted
+	BatchesRejected atomic.Uint64 // TryAppend calls refused by a full queue
+	TasksApplied    atomic.Uint64 // per-shard sub-batches applied to a store
+	TicksIngested   atomic.Uint64 // ticks appended (counted once per batch)
+	ClustersBuilt   atomic.Uint64 // snapshot clusters produced while ingesting
+	// ObjectsReplicated counts halo replica deliveries at object
+	// granularity. Its unit depends on the ingest mode: under cluster-once
+	// routing it advances once per (object, extra shard, tick) — each
+	// replicated cluster view counts its members — while the legacy
+	// trajectory fan-out advances once per (object, extra shard) per
+	// batch, so values from the two modes differ by roughly the ticks per
+	// batch and are not comparable.
+	ObjectsReplicated atomic.Uint64
+	// ClustersReplicated counts cluster views delivered to shards beyond the
+	// owner by the cluster-once ingest pipeline. Unlike ClustersBuilt it
+	// scales with the replication factor; their ratio is the halo overhead.
+	ClustersReplicated atomic.Uint64
 
 	// Query side.
 	Queries            atomic.Uint64 // snapshot queries served
@@ -40,6 +51,7 @@ type EngineCounterSnapshot struct {
 	TicksIngested      uint64
 	ClustersBuilt      uint64
 	ObjectsReplicated  uint64
+	ClustersReplicated uint64
 	Queries            uint64
 	CrowdsReturned     uint64
 	GatheringsReturned uint64
@@ -58,6 +70,7 @@ func (c *EngineCounters) Snapshot() EngineCounterSnapshot {
 		TicksIngested:      c.TicksIngested.Load(),
 		ClustersBuilt:      c.ClustersBuilt.Load(),
 		ObjectsReplicated:  c.ObjectsReplicated.Load(),
+		ClustersReplicated: c.ClustersReplicated.Load(),
 		Queries:            c.Queries.Load(),
 		CrowdsReturned:     c.CrowdsReturned.Load(),
 		GatheringsReturned: c.GatheringsReturned.Load(),
@@ -74,6 +87,7 @@ func (s EngineCounterSnapshot) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "ticks ingested:      %d\n", s.TicksIngested)
 	fmt.Fprintf(w, "clusters built:      %d\n", s.ClustersBuilt)
 	fmt.Fprintf(w, "objects replicated:  %d\n", s.ObjectsReplicated)
+	fmt.Fprintf(w, "clusters replicated: %d\n", s.ClustersReplicated)
 	fmt.Fprintf(w, "queries served:      %d\n", s.Queries)
 	fmt.Fprintf(w, "crowds returned:     %d\n", s.CrowdsReturned)
 	fmt.Fprintf(w, "gatherings returned: %d\n", s.GatheringsReturned)
