@@ -9,6 +9,7 @@
 package gatherings_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -198,7 +199,7 @@ func fig8bCrowdsAndOld(oldLen int) ([]*crowd.Crowd, [][]*gathering.Gathering, ga
 	olds := make([][]*gathering.Gathering, len(crowds))
 	for i := range crowds {
 		crowds[i] = experiments.SyntheticCrowd(r, 240, 48, 2, 0.75, 6)
-		oldCrowd := &crowd.Crowd{Start: 0, Clusters: crowds[i].Clusters[:oldLen]}
+		oldCrowd := crowds[i].Sub(0, oldLen)
 		olds[i] = gathering.TADStar(oldCrowd, gp)
 	}
 	return crowds, olds, gp
@@ -218,6 +219,75 @@ func BenchmarkFig8bGatheringUpdate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		k := i % len(crowds)
 		gathering.NewDetector(crowds[k], gp).RunIncremental(216, olds[k])
+	}
+}
+
+// ---- incremental append: per-batch cost vs history --------------------------
+
+// incrementalStream builds a persistent-membership CDB: one cluster per
+// tick holding a committed core (objects 0..core-1, present w.p. stay)
+// plus never-recurring churn, so a single crowd chain survives the whole
+// stream with live gatherings — the state the incremental layer extends.
+func incrementalStream(ticks, core, churn int, stay float64, seed int64) *snapshot.CDB {
+	r := rand.New(rand.NewSource(seed))
+	cdb := &snapshot.CDB{
+		Domain:   trajectory.TimeDomain{Step: 1, N: ticks},
+		Clusters: make([][]*snapshot.Cluster, ticks),
+	}
+	next := trajectory.ObjectID(core)
+	for t := 0; t < ticks; t++ {
+		var ids []trajectory.ObjectID
+		for c := 0; c < core; c++ {
+			if r.Float64() < stay {
+				ids = append(ids, trajectory.ObjectID(c))
+			}
+		}
+		for c := 0; c < churn; c++ {
+			ids = append(ids, next)
+			next++
+		}
+		pts := make([]geo.Point, len(ids))
+		for i := range pts {
+			pts[i] = geo.Point{X: float64(i % core), Y: 0}
+		}
+		cdb.Clusters[t] = []*snapshot.Cluster{snapshot.NewCluster(trajectory.Tick(t), ids, pts)}
+	}
+	return cdb
+}
+
+// BenchmarkIncrementalAppend measures the cost of appending ONE fixed-size
+// batch to a store that already holds history×batch ticks. The §III-C
+// design goal — and the tentpole of the persistent-crowd / extendable-
+// detector rework — is that this cost is flat in the history: before it,
+// crowd extension re-copied each surviving chain and gathering detection
+// rebuilt each tail detector, so ns/op grew linearly with history.
+func BenchmarkIncrementalAppend(b *testing.B) {
+	const batchTicks = 12
+	cp := crowd.Params{MC: 10, KC: 10, Delta: 300}
+	gp := gathering.Params{KC: 10, KP: 8, MP: 8}
+	for _, history := range []int{1, 2, 4, 8} {
+		history := history
+		b.Run(fmt.Sprintf("history=%dx", history), func(b *testing.B) {
+			full := incrementalStream((history+1)*batchTicks, 60, 8, 0.9, 11)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				store, err := incremental.New(cp, gp, func() crowd.Searcher {
+					return &crowd.GridSearcher{Delta: cp.Delta}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < history; k++ {
+					s := full.Slice(trajectory.Tick(k*batchTicks), batchTicks)
+					store.Append(&snapshot.CDB{Domain: s.Domain, Clusters: s.Clusters})
+				}
+				s := full.Slice(trajectory.Tick(history*batchTicks), batchTicks)
+				batch := &snapshot.CDB{Domain: s.Domain, Clusters: s.Clusters}
+				b.StartTimer()
+				store.Append(batch)
+			}
+		})
 	}
 }
 

@@ -97,7 +97,7 @@ func main() {
 			fmt.Printf("\ncrowd %s lifetime=%d ticks\n", cr, cr.Lifetime())
 		}
 		for _, g := range res.Gatherings[i] {
-			c := g.Crowd.Clusters[0].MBR().Center()
+			c := g.Crowd.At(0).MBR().Center()
 			fmt.Printf("  gathering ticks [%d,%d) around (%.0f, %.0f): %d participators %v\n",
 				int(cr.Start)+g.Lo, int(cr.Start)+g.Hi, c.X, c.Y,
 				len(g.Participators), g.Participators)

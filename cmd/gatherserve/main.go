@@ -9,7 +9,7 @@
 //	            [-partition grid] [-cell 3000] [-halo 1200]
 //	            [-eps 200] [-minpts 5] [-mc 15] [-kc 20] [-delta 300]
 //	            [-kp 15] [-mp 10] [-searcher grid]
-//	            [-addr :8080] [-oneshot]
+//	            [-addr :8080] [-oneshot] [-pprof]
 //
 // The CSV is replayed in batches of -batch ticks, one every -interval
 // (immediately when zero), through the engine's bounded ingest queue.
@@ -25,6 +25,11 @@
 //	GET /stats        ingest/query counters and the tick frontier
 //	GET /healthz      liveness
 //
+// With -pprof the net/http/pprof handlers are additionally served under
+// /debug/pprof/, so a live ingest can be profiled in place:
+//
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+//
 // With -oneshot the whole file is ingested, the gatherings GeoJSON is
 // written to stdout, and the process exits without serving.
 package main
@@ -35,6 +40,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -71,6 +77,7 @@ func main() {
 
 		addr    = flag.String("addr", ":8080", "HTTP listen address")
 		oneshot = flag.Bool("oneshot", false, "ingest everything, print gatherings GeoJSON, exit")
+		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof handlers under /debug/pprof/ for live profiling")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -174,23 +181,35 @@ func main() {
 		return
 	}
 
-	http.HandleFunc("/gatherings", func(w http.ResponseWriter, r *http.Request) {
+	// A dedicated mux, not http.DefaultServeMux: importing net/http/pprof
+	// registers its handlers on the default mux unconditionally, and they
+	// must be served only when -pprof asks for them.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/gatherings", func(w http.ResponseWriter, r *http.Request) {
 		serveQuery(w, r, eng, true)
 	})
-	http.HandleFunc("/crowds", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/crowds", func(w http.ResponseWriter, r *http.Request) {
 		serveQuery(w, r, eng, false)
 	})
-	http.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ticks applied:       %d\n", eng.Ticks())
 		eng.Counters().Snapshot().Fprint(w)
 	})
-	http.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof enabled on %s/debug/pprof/", *addr)
+	}
 
 	log.Printf("serving on %s (%d shards, %q partitioner)", *addr, cfg.Shards, *partition)
-	if err := http.ListenAndServe(*addr, nil); err != nil {
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatal(err)
 	}
 }

@@ -87,7 +87,7 @@ func main() {
 	}
 	fmt.Printf("gatherings found: %d\n", len(res.AllGatherings()))
 	for _, g := range res.AllGatherings() {
-		c := g.Crowd.Clusters[0].MBR().Center()
+		c := g.Crowd.At(0).MBR().Center()
 		fmt.Printf("  gathering at (%.0f, %.0f) for %d ticks, %d committed organisers\n",
 			c.X, c.Y, g.Lifetime(), len(g.Participators))
 	}

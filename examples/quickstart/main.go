@@ -85,7 +85,7 @@ func main() {
 	fmt.Printf("closed gatherings: %d\n", len(res.AllGatherings()))
 	for i, cr := range res.Crowds {
 		for _, g := range res.Gatherings[i] {
-			center := g.Crowd.Clusters[0].MBR().Center()
+			center := g.Crowd.At(0).MBR().Center()
 			fmt.Printf("\ngathering at (%.0f, %.0f), minutes %d–%d\n",
 				center.X, center.Y, int(cr.Start)+g.Lo, int(cr.Start)+g.Hi-1)
 			fmt.Printf("participators (%d): %v\n", len(g.Participators), g.Participators)

@@ -62,7 +62,7 @@ func main() {
 	fmt.Printf("actual traffic jams (closed gatherings): %d\n", len(jams))
 	fmt.Println("\njam report:")
 	for k, j := range jams {
-		c := j.g.Crowd.Clusters[0].MBR().Center()
+		c := j.g.Crowd.At(0).MBR().Center()
 		from, to := int(j.g.Crowd.Start), int(j.g.Crowd.End())
 		fmt.Printf("  #%d  %s–%s  at (%5.0fm, %5.0fm)  stuck vehicles: %d\n",
 			k+1, clock(from), clock(to), c.X, c.Y, len(j.g.Participators))

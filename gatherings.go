@@ -104,6 +104,14 @@ func Participators(cr *Crowd, kp int) []ObjectID {
 	return gathering.Participators(cr, kp)
 }
 
+// NewCrowd builds a crowd over a cluster run. Crowds are persistent
+// (immutable, prefix-sharing) structures; the slice is handed over to the
+// crowd and must not be mutated afterwards. Read it back with
+// Crowd.Clusters, Crowd.At and Crowd.Lifetime.
+func NewCrowd(start Tick, clusters []*Cluster) *Crowd {
+	return crowd.New(start, clusters)
+}
+
 // Store maintains closed crowds and gatherings incrementally as batches of
 // new trajectory data arrive (§III-C): crowd candidates ending at the most
 // recent tick are saved and resumed, and gathering detection on extended
@@ -143,11 +151,14 @@ func (s *Store) AppendCDB(batch *CDB) { s.inner.Append(batch) }
 // Ticks returns the number of ticks ingested so far.
 func (s *Store) Ticks() int { return s.inner.Ticks() }
 
-// Crowds returns the current closed crowds.
+// Crowds returns the current closed crowds. The slice is shared with the
+// store and valid until the next Append; copy it to retain it across
+// appends. (Crowds themselves are immutable.)
 func (s *Store) Crowds() []*Crowd { return s.inner.Crowds() }
 
 // Gatherings returns the closed gatherings per closed crowd, parallel to
-// Crowds.
+// Crowds. Like Crowds, the top-level slice is shared with the store and
+// valid until the next Append.
 func (s *Store) Gatherings() [][]*Gathering { return s.inner.Gatherings() }
 
 // AllGatherings returns every current closed gathering.

@@ -102,7 +102,7 @@ func TestEndToEndRawDataPipeline(t *testing.T) {
 	if len(g.Participators) < 6 {
 		t.Fatalf("participators = %v", g.Participators)
 	}
-	center := g.Crowd.Clusters[0].MBR().Center()
+	center := g.Crowd.At(0).MBR().Center()
 	if center.Dist(gatherings.Point{X: 300, Y: 300}) > 100 {
 		t.Fatalf("gathering located at %v, want near (300,300)", center)
 	}

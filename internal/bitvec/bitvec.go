@@ -33,6 +33,24 @@ func New(n int) Vector {
 	return Vector{n: n, words: make([]uint64, (n+63)/64)}
 }
 
+// NewBatch returns count all-zero vectors of n bits carved out of one
+// shared allocation — the signature-store fast path, where a detector
+// admits objects one at a time but by the thousand. Each vector's word
+// capacity is exact, so a later Grow across a word boundary re-allocates
+// it independently; until then the vectors are fully independent windows.
+func NewBatch(count, n int) []Vector {
+	if n < 0 || count < 0 {
+		panic("bitvec: negative batch dimensions")
+	}
+	w := (n + 63) / 64
+	words := make([]uint64, count*w)
+	out := make([]Vector, count)
+	for i := range out {
+		out[i] = Vector{n: n, words: words[i*w : (i+1)*w : (i+1)*w]}
+	}
+	return out
+}
+
 // Len returns the logical length in bits.
 func (v Vector) Len() int { return v.n }
 
@@ -65,6 +83,34 @@ func (v Vector) Clone() Vector {
 	w := Vector{n: v.n, words: make([]uint64, len(v.words))}
 	copy(w.words, v.words)
 	return w
+}
+
+// Grow returns a vector of n bits whose first v.Len() bits are v's. Word
+// capacity grows geometrically, so a signature that is extended tick by
+// tick — the incremental detector's hot path (§III-C2) — re-allocates
+// O(log n) times over its life instead of once per batch. The returned
+// vector shares v's words when capacity allows; treat v as consumed.
+func (v Vector) Grow(n int) Vector {
+	if n < v.n {
+		panic(fmt.Sprintf("bitvec: Grow from %d to %d bits", v.n, n))
+	}
+	w := (n + 63) / 64
+	if w <= cap(v.words) {
+		words := v.words[:w]
+		// Newly exposed words may hold data from a previous, larger use
+		// of the backing array; clear them.
+		for i := len(v.words); i < w; i++ {
+			words[i] = 0
+		}
+		return Vector{n: n, words: words}
+	}
+	grown := 2 * cap(v.words)
+	if grown < w {
+		grown = w
+	}
+	words := make([]uint64, w, grown)
+	copy(words, v.words)
+	return Vector{n: n, words: words}
 }
 
 // And overwrites v with v AND m. Both vectors must have the same length.

@@ -10,10 +10,23 @@
 // a pluggable Searcher with four implementations: brute force, SR (R-tree
 // window query with the dmin bound, Lemma 2), IR (R-tree side query with
 // the dside bound, Lemma 3) and Grid (the grid index of §III-A2).
+//
+// Crowds are persistent (immutable, structurally shared): extending a
+// candidate by one cluster is O(1) — a child node pointing at its parent —
+// rather than a copy of the whole cluster sequence. Candidates branch
+// rarely, so the live candidate set forms a few long chains; the full
+// cluster slice is materialised on demand and memoized, and a
+// materialisation can reuse the spare capacity of its nearest
+// materialised ancestor, so a tail candidate that grows batch after batch
+// pays O(new ticks) amortised per batch instead of O(lifetime). This is
+// what keeps the incremental layer's per-batch cost proportional to the
+// batch (§III-C, Theorem 2) instead of the stream age.
 package crowd
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geo"
 	"repro/internal/gridindex"
@@ -44,33 +57,211 @@ func (p Params) Validate() error {
 }
 
 // Crowd is a candidate or discovered crowd: consecutive snapshot clusters
-// starting at tick Start.
+// starting at tick Start. It is an immutable persistent structure — a node
+// either holds its full cluster run (a root built by New) or one cluster
+// plus a pointer to the shared prefix it extends. Construct one with New;
+// read it through Lifetime, End, At, Last and Clusters.
 type Crowd struct {
-	Start    trajectory.Tick
-	Clusters []*snapshot.Cluster
+	Start trajectory.Tick
 
-	// Origin links an extended crowd back to the initial candidate it grew
-	// from when discovery was resumed with DiscoverFrom (nil for crowds
+	// Origin links an extended crowd back to the candidate it grew from
+	// when discovery was last resumed with DiscoverFrom (nil for crowds
 	// that started within the sweep). The incremental layer uses it to
-	// find the old crowd's gatherings for the update of §III-C2.
+	// find the old crowd's gatherings and signature detector for the
+	// update of §III-C2.
 	Origin *Crowd
+
+	// parent/last/base encode the persistent representation: a root node
+	// (parent == nil) covers positions [0, length) with base — or, when
+	// base is nil and length is 1, with last alone (the common
+	// freshly-started candidate, spared the one-element slice). A child
+	// node covers position length-1 with last and delegates the rest to
+	// parent.
+	parent *Crowd
+	last   *snapshot.Cluster
+	base   []*snapshot.Cluster
+	length int
+
+	// mat memoizes the materialised cluster slice. Concurrent readers may
+	// race to materialise; every winner computes identical content, so
+	// last-store-wins is safe.
+	mat atomic.Pointer[matState]
+}
+
+// matState is one memoized materialisation. owned marks buffers allocated
+// by materialisation itself: only their spare capacity may be stolen and
+// extended in place by a descendant (a caller-provided slice handed to New
+// may alias a larger live array, so it is never extended).
+type matState struct {
+	cls   []*snapshot.Cluster
+	owned bool
+}
+
+// New builds a crowd over the given cluster run. The crowd takes ownership
+// of the slice: callers must not mutate it afterwards.
+func New(start trajectory.Tick, clusters []*snapshot.Cluster) *Crowd {
+	c := &Crowd{Start: start, base: clusters, length: len(clusters)}
+	c.mat.Store(&matState{cls: clusters})
+	return c
 }
 
 // Lifetime returns Cr.τ, the number of ticks the crowd spans.
-func (c *Crowd) Lifetime() int { return len(c.Clusters) }
+func (c *Crowd) Lifetime() int { return c.length }
 
 // End returns the tick of the last cluster.
 func (c *Crowd) End() trajectory.Tick {
-	return c.Start + trajectory.Tick(len(c.Clusters)-1)
+	return c.Start + trajectory.Tick(c.length-1)
+}
+
+// Last returns the cluster at the final tick (nil for an empty crowd). It
+// is O(1): the sweep's inner loop reads only this.
+func (c *Crowd) Last() *snapshot.Cluster {
+	if c.length == 0 {
+		return nil
+	}
+	if c.parent == nil && c.base != nil {
+		return c.base[c.length-1]
+	}
+	return c.last
+}
+
+// At returns the cluster at position i (0 ≤ i < Lifetime). Reads through a
+// memoized materialisation are O(1); otherwise the parent chain is walked
+// from the tip, O(Lifetime − i).
+func (c *Crowd) At(i int) *snapshot.Cluster {
+	if i < 0 || i >= c.length {
+		panic(fmt.Sprintf("crowd: position %d out of range [0,%d)", i, c.length))
+	}
+	n := c
+	for {
+		if m := n.mat.Load(); m != nil {
+			return m.cls[i]
+		}
+		if n.parent == nil {
+			if n.base != nil {
+				return n.base[i]
+			}
+			return n.last // singleton root: i == 0
+		}
+		if i == n.length-1 {
+			return n.last
+		}
+		n = n.parent
+	}
+}
+
+// Clusters materialises the crowd as one slice, memoizing the result.
+// Callers must treat the slice as read-only. The first materialisation of
+// a freshly extended crowd copies only the suffix beyond its nearest
+// materialised ancestor when that ancestor's buffer has spare capacity
+// (the buffer is "stolen": the ancestor re-materialises if asked again),
+// so repeated materialisation along a growing chain is amortised O(new
+// ticks), not O(lifetime).
+func (c *Crowd) Clusters() []*snapshot.Cluster {
+	if m := c.mat.Load(); m != nil {
+		return m.cls
+	}
+	out := c.materialise()
+	c.mat.Store(&matState{cls: out, owned: true})
+	return out
+}
+
+// pending is one chain node's own cluster awaiting placement during
+// materialisation.
+type pending struct {
+	i  int
+	cl *snapshot.Cluster
+}
+
+func (c *Crowd) materialise() []*snapshot.Cluster {
+	// Walk towards the root recording each node's own cluster, stopping
+	// at the first materialised ancestor.
+	var stack []pending
+	n := c
+	for n.parent != nil {
+		if n.mat.Load() != nil {
+			return c.finish(n, stack)
+		}
+		stack = append(stack, pending{n.length - 1, n.last})
+		n = n.parent
+	}
+	if n.mat.Load() != nil {
+		return c.finish(n, stack)
+	}
+	out := make([]*snapshot.Cluster, c.length, materialiseCap(c.length))
+	if n.base != nil {
+		copy(out, n.base)
+	} else if n.length == 1 {
+		out[0] = n.last
+	}
+	for _, p := range stack {
+		out[p.i] = p.cl
+	}
+	return out
+}
+
+// finish assembles the materialisation from ancestor anc's memo plus the
+// recorded suffix. The memo is taken from anc atomically (Swap), so racing
+// descendants can never extend the same buffer: when the taken buffer is
+// owned and has room, it is extended in place — the suffix writes touch
+// only indices beyond every slice previously exposed from it. anc simply
+// re-materialises if asked again (rare: consumers query chain tips).
+func (c *Crowd) finish(anc *Crowd, suffix []pending) []*snapshot.Cluster {
+	taken := anc.mat.Swap(nil)
+	if taken == nil {
+		// Lost a race for the memo; recompute from anc's own structure.
+		sub := anc.materialise()
+		out := make([]*snapshot.Cluster, c.length, materialiseCap(c.length))
+		copy(out, sub)
+		for _, p := range suffix {
+			out[p.i] = p.cl
+		}
+		return out
+	}
+	if taken.owned && cap(taken.cls) >= c.length {
+		out := taken.cls[:c.length]
+		for _, p := range suffix {
+			out[p.i] = p.cl
+		}
+		return out
+	}
+	out := make([]*snapshot.Cluster, c.length, materialiseCap(c.length))
+	copy(out, taken.cls)
+	for _, p := range suffix {
+		out[p.i] = p.cl
+	}
+	// An unowned memo (a New-provided slice) is still a valid memo for
+	// anc; put it back so roots keep their zero-cost materialisation.
+	if !taken.owned {
+		anc.mat.CompareAndSwap(nil, taken)
+	}
+	return out
+}
+
+// materialiseCap adds growth headroom so chains of materialisations
+// reallocate geometrically rather than per batch.
+func materialiseCap(n int) int { return n + n/4 + 4 }
+
+// Sub returns the sub-crowd covering positions [lo, hi). It shares the
+// materialised clusters of c.
+func (c *Crowd) Sub(lo, hi int) *Crowd {
+	cls := c.Clusters()
+	return New(c.Start+trajectory.Tick(lo), cls[lo:hi:hi])
+}
+
+// Detached returns a copy of the crowd with no Origin link, sharing the
+// cluster structure. Snapshot readers hand these out so later resumes —
+// which rewrite Origin on tail candidates — cannot race with holders.
+func (c *Crowd) Detached() *Crowd {
+	d := &Crowd{Start: c.Start, parent: c.parent, last: c.last, base: c.base, length: c.length}
+	d.mat.Store(c.mat.Load())
+	return d
 }
 
 // extend returns a new crowd with cl appended; the receiver is unchanged
-// (candidates branch, so the cluster slice must not be shared).
+// (candidates branch, so the prefix is shared, never copied).
 func (c *Crowd) extend(cl *snapshot.Cluster) *Crowd {
-	cls := make([]*snapshot.Cluster, len(c.Clusters)+1)
-	copy(cls, c.Clusters)
-	cls[len(c.Clusters)] = cl
-	return &Crowd{Start: c.Start, Clusters: cls, Origin: c.Origin}
+	return &Crowd{Start: c.Start, Origin: c.Origin, parent: c, last: cl, length: c.length + 1}
 }
 
 // String renders the crowd compactly.
@@ -80,7 +271,9 @@ func (c *Crowd) String() string {
 
 // Searcher finds, among the clusters of one tick, those within Hausdorff
 // distance δ of a query cluster. Prepare is called once per tick before any
-// Search at that tick; Search returns indices into the prepared slice.
+// Search at that tick; Search returns indices into the prepared slice. The
+// returned slice is only valid until the next Search call — implementations
+// reuse one result buffer across calls.
 type Searcher interface {
 	Prepare(clusters []*snapshot.Cluster)
 	Search(query *snapshot.Cluster) []int32
@@ -96,6 +289,19 @@ type Result struct {
 	Tail []*Crowd
 }
 
+// sweepScratch is the reusable working memory of one discovery sweep: the
+// per-tick eligibility filter, the used marks, and the double-buffered
+// candidate lists. Pooled so the streaming layer's per-batch sweeps stop
+// allocating it.
+type sweepScratch struct {
+	eligible []*snapshot.Cluster
+	used     []bool
+	cur      []*Crowd
+	next     []*Crowd
+}
+
+var sweepPool = sync.Pool{New: func() any { return new(sweepScratch) }}
+
 // Discover runs Algorithm 1 over the whole cluster database.
 func Discover(cdb *snapshot.CDB, p Params, s Searcher) Result {
 	return DiscoverFrom(cdb, 0, nil, p, s)
@@ -104,18 +310,21 @@ func Discover(cdb *snapshot.CDB, p Params, s Searcher) Result {
 // DiscoverFrom resumes Algorithm 1 at tick from with an initial candidate
 // set whose last clusters sit at tick from-1. It is the engine of both
 // archival discovery (from = 0, initial = nil) and incremental crowd
-// extension.
+// extension. Each initial candidate's Origin is (re)pointed at itself, so
+// crowds in the result link back to the candidate of THIS resume — the key
+// the incremental layer's gathering/detector caches are held under.
 func DiscoverFrom(cdb *snapshot.CDB, from trajectory.Tick, initial []*Crowd, p Params, s Searcher) Result {
+	sc := sweepPool.Get().(*sweepScratch)
 	var closed []*Crowd
-	cur := append([]*Crowd(nil), initial...)
+	cur := append(sc.cur[:0], initial...)
+	next := sc.next[:0]
 	for _, c := range cur {
-		if c.Origin == nil {
-			c.Origin = c // initial candidates are their own origin
-		}
+		c.Origin = c // candidates of this resume are their own origin
 	}
 
 	n := trajectory.Tick(len(cdb.Clusters))
-	var eligible []*snapshot.Cluster
+	eligible := sc.eligible
+	used := sc.used
 	for t := from; t < n; t++ {
 		// Only clusters meeting the support threshold can ever be part of
 		// a crowd (Definition 2, condition 2).
@@ -127,11 +336,16 @@ func DiscoverFrom(cdb *snapshot.CDB, from trajectory.Tick, initial []*Crowd, p P
 		}
 		s.Prepare(eligible)
 
-		used := make([]bool, len(eligible))
-		next := cur[:0:0] // fresh slice; cur entries may be retained in closed
+		if cap(used) < len(eligible) {
+			used = make([]bool, len(eligible))
+		}
+		used = used[:len(eligible)]
+		for i := range used {
+			used[i] = false
+		}
+		next = next[:0]
 		for _, cand := range cur {
-			last := cand.Clusters[len(cand.Clusters)-1]
-			matches := s.Search(last)
+			matches := s.Search(cand.Last())
 			if len(matches) == 0 {
 				// Cannot be extended: closed crowd (Lemma 1) or dead end.
 				if cand.Lifetime() >= p.KC {
@@ -147,10 +361,10 @@ func DiscoverFrom(cdb *snapshot.CDB, from trajectory.Tick, initial []*Crowd, p P
 		// Clusters that extended nothing become new candidates (line 18).
 		for i, c := range eligible {
 			if !used[i] {
-				next = append(next, &Crowd{Start: t, Clusters: []*snapshot.Cluster{c}})
+				next = append(next, &Crowd{Start: t, last: c, length: 1})
 			}
 		}
-		cur = next
+		cur, next = next, cur
 	}
 
 	// Domain exhausted: surviving candidates of sufficient length are
@@ -161,7 +375,17 @@ func DiscoverFrom(cdb *snapshot.CDB, from trajectory.Tick, initial []*Crowd, p P
 			closed = append(closed, cand)
 		}
 	}
-	return Result{Crowds: closed, Tail: cur}
+	tail := append([]*Crowd(nil), cur...)
+
+	// Return the scratch with its pointer buffers cleared so pooled
+	// arrays don't pin crowd or cluster graphs until their next reuse.
+	clear(eligible[:cap(eligible)])
+	clear(cur[:cap(cur)])
+	clear(next[:cap(next)])
+	sc.eligible, sc.used = eligible[:0], used[:0]
+	sc.cur, sc.next = cur[:0], next[:0]
+	sweepPool.Put(sc)
+	return Result{Crowds: closed, Tail: tail}
 }
 
 // BruteSearcher verifies the Hausdorff predicate against every cluster of
@@ -170,6 +394,7 @@ func DiscoverFrom(cdb *snapshot.CDB, from trajectory.Tick, initial []*Crowd, p P
 type BruteSearcher struct {
 	Delta    float64
 	clusters []*snapshot.Cluster
+	buf      []int32
 }
 
 // Prepare implements Searcher.
@@ -177,12 +402,13 @@ func (b *BruteSearcher) Prepare(cs []*snapshot.Cluster) { b.clusters = cs }
 
 // Search implements Searcher.
 func (b *BruteSearcher) Search(q *snapshot.Cluster) []int32 {
-	var out []int32
+	out := b.buf[:0]
 	for i, c := range b.clusters {
 		if geo.WithinHausdorff(q.Points, c.Points, b.Delta) {
 			out = append(out, int32(i))
 		}
 	}
+	b.buf = out
 	return out
 }
 
@@ -197,6 +423,7 @@ type SRSearcher struct {
 	Delta    float64
 	tree     *rtree.Tree
 	clusters []*snapshot.Cluster
+	buf      []int32
 
 	// Stats accumulate over the sweep for pruning-effect reporting.
 	Candidates int // clusters surviving the index filter
@@ -215,7 +442,7 @@ func (s *SRSearcher) Prepare(cs []*snapshot.Cluster) {
 
 // Search implements Searcher.
 func (s *SRSearcher) Search(q *snapshot.Cluster) []int32 {
-	var out []int32
+	out := s.buf[:0]
 	window := q.MBR().Expand(s.Delta)
 	s.tree.Search(window, func(id int32) bool {
 		s.Candidates++
@@ -225,6 +452,7 @@ func (s *SRSearcher) Search(q *snapshot.Cluster) []int32 {
 		return true
 	})
 	s.Results += len(out)
+	s.buf = out
 	return out
 }
 
@@ -236,6 +464,7 @@ type IRSearcher struct {
 	Delta    float64
 	tree     *rtree.Tree
 	clusters []*snapshot.Cluster
+	buf      []int32
 
 	Candidates int
 	Results    int
@@ -253,7 +482,7 @@ func (s *IRSearcher) Prepare(cs []*snapshot.Cluster) {
 
 // Search implements Searcher.
 func (s *IRSearcher) Search(q *snapshot.Cluster) []int32 {
-	var out []int32
+	out := s.buf[:0]
 	s.tree.SearchDSide(q.MBR(), s.Delta, func(id int32) bool {
 		s.Candidates++
 		if geo.Hausdorff(q.Points, s.clusters[id].Points) <= s.Delta {
@@ -262,6 +491,7 @@ func (s *IRSearcher) Search(q *snapshot.Cluster) []int32 {
 		return true
 	})
 	s.Results += len(out)
+	s.buf = out
 	return out
 }
 
@@ -274,6 +504,7 @@ type GridSearcher struct {
 	Delta float64
 	index *gridindex.Index
 	prev  *gridindex.Index
+	buf   []int32
 
 	// Candidates and Results accumulate over the sweep, as for SR/IR.
 	Candidates int
@@ -286,8 +517,11 @@ func (s *GridSearcher) Prepare(cs []*snapshot.Cluster) {
 		s.Candidates += s.index.Candidates
 		s.Results += s.index.Results
 	}
+	// The tick-before-last index is fully retired (only prev is consulted,
+	// for decomposition reuse); recycle its arenas into the new build.
+	spent := s.prev
 	s.prev = s.index
-	s.index = gridindex.Build(cs, s.Delta)
+	s.index = gridindex.BuildReuse(spent, cs, s.Delta)
 }
 
 // FlushStats folds the live index's counters into the searcher totals;
@@ -304,10 +538,12 @@ func (s *GridSearcher) FlushStats() {
 func (s *GridSearcher) Search(q *snapshot.Cluster) []int32 {
 	if s.prev != nil {
 		if qd, ok := s.prev.DecompositionOf(q); ok {
-			return s.index.RangeSearchDecomposed(q, qd)
+			s.buf = s.index.RangeSearchDecomposed(q, qd, s.buf[:0])
+			return s.buf
 		}
 	}
-	return s.index.RangeSearch(q)
+	s.buf = s.index.RangeSearch(q, s.buf[:0])
+	return s.buf
 }
 
 // NewSearcher returns the named searcher ("brute", "sr", "ir" or "grid"),

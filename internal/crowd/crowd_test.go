@@ -45,7 +45,7 @@ func cdbFromRows(rows [][]float64) *snapshot.CDB {
 // comparison.
 func signature(c *Crowd) string {
 	s := fmt.Sprintf("%d:", c.Start)
-	for _, cl := range c.Clusters {
+	for _, cl := range c.Clusters() {
 		s += fmt.Sprintf("%.1f,", cl.Points[0].Y)
 	}
 	return s
@@ -153,7 +153,7 @@ func TestNewSearcher(t *testing.T) {
 }
 
 func TestCrowdAccessors(t *testing.T) {
-	c := &Crowd{Start: 5, Clusters: []*snapshot.Cluster{clusterAt(5, 0), clusterAt(6, 0)}}
+	c := New(5, []*snapshot.Cluster{clusterAt(5, 0), clusterAt(6, 0)})
 	if c.Lifetime() != 2 || c.End() != 6 {
 		t.Fatalf("Lifetime=%d End=%d", c.Lifetime(), c.End())
 	}
@@ -283,7 +283,7 @@ func bruteClosedCrowds(cdb *snapshot.CDB, p Params) []string {
 					return // has a super-crowd through the left
 				}
 			}
-			cr := &Crowd{Start: trajectory.Tick(start), Clusters: seq}
+			cr := New(trajectory.Tick(start), seq)
 			out = append(out, signature(cr))
 		}
 	}
@@ -335,14 +335,15 @@ func TestDiscoveredCrowdsSatisfyDefinition(t *testing.T) {
 			if cr.Lifetime() < p.KC {
 				t.Fatalf("crowd too short: %v", cr)
 			}
-			for i, cl := range cr.Clusters {
+			cls := cr.Clusters()
+			for i, cl := range cls {
 				if cl.Len() < p.MC {
 					t.Fatalf("cluster below mc in %v", cr)
 				}
 				if cl.T != cr.Start+trajectory.Tick(i) {
 					t.Fatalf("non-consecutive ticks in %v", cr)
 				}
-				if i > 0 && !geo.WithinHausdorff(cr.Clusters[i-1].Points, cl.Points, p.Delta) {
+				if i > 0 && !geo.WithinHausdorff(cls[i-1].Points, cl.Points, p.Delta) {
 					t.Fatalf("consecutive clusters too far in %v", cr)
 				}
 			}

@@ -38,10 +38,19 @@
 //     clustering the cluster-once pipeline exists to avoid. Kept for
 //     custom partitioners that cannot route bare clusters.
 //
+// However a batch reaches a shard, the shard's incremental store extends
+// persistent state rather than rebuilding it: crowds are prefix-sharing
+// persistent structures (O(1) extension per cluster), each live tail
+// crowd's gathering detector grows by exactly the batch's ticks, and the
+// discovery sweep, DBSCAN and grid-index scratch are pooled — so steady-
+// state per-batch cost is proportional to the batch, not the stream age
+// (§III-C, Theorem 2; BenchmarkIncrementalAppend pins this flat).
+//
 // Queries read the current closed crowds and gatherings under per-shard
 // read locks: each shard's answer is internally consistent; across shards
 // a query may observe different ingest frontiers (use Flush for a global
-// barrier).
+// barrier). Snapshot results are detached crowd handles sharing immutable
+// cluster data with the stores.
 package engine
 
 import (
@@ -296,7 +305,10 @@ func (e *Engine) start() {
 // Append splits the batch across the shards and enqueues it, blocking
 // while the ingest queue is full (backpressure). The batch covers the
 // next batch.Domain.N ticks of every shard's domain; concurrent Append
-// calls are admitted one at a time, in lock-acquisition order.
+// calls are admitted one at a time, in lock-acquisition order. The engine
+// keeps reading the batch after Append returns (workers cluster it
+// asynchronously; with one shard it is routed without copying), so callers
+// must not mutate it.
 func (e *Engine) Append(batch *trajectory.DB) error { return e.enqueue(batch, true) }
 
 // TryAppend is Append without the blocking: it returns ErrQueueFull when
@@ -348,7 +360,8 @@ func (e *Engine) enqueue(batch *trajectory.DB, wait bool) error {
 	var cdbs []*snapshot.CDB
 	var subs []*trajectory.DB
 	var stat routeStats
-	if clusterOnce {
+	switch {
+	case clusterOnce:
 		if wait {
 			e.buildMu.Lock()
 		} else if !e.buildMu.TryLock() {
@@ -358,7 +371,14 @@ func (e *Engine) enqueue(batch *trajectory.DB, wait bool) error {
 		}
 		cdbs, stat = e.routeClusters(batch)
 		e.buildMu.Unlock()
-	} else {
+	case n == 1:
+		// Single shard: every trajectory targets shard 0 whatever the
+		// partitioner says, and a zero-halo single shard replicates
+		// nothing — hand the batch through untouched instead of copying
+		// its trajectory headers into a sub-batch, so one-shard ingest
+		// costs exactly the single-store pipeline plus the queue hop.
+		subs = []*trajectory.DB{batch}
+	default:
 		subs, stat = e.split(batch)
 	}
 
@@ -642,7 +662,7 @@ func (q Query) matches(cr *crowd.Crowd) bool {
 		// that stops at the first hit — for matching crowds usually the
 		// first cluster.
 		hit := false
-		for _, c := range cr.Clusters {
+		for _, c := range cr.Clusters() {
 			if c.MBR().Intersects(*q.Bounds) {
 				hit = true
 				break
@@ -711,10 +731,9 @@ func (e *Engine) Snapshot(q Query) *Result {
 			matched = append(matched, en)
 		}
 	} else {
-		// Single-shard routing: no duplicates can exist, so only matches
-		// are copied under the read locks — the store mutates Origin on
-		// tail crowds when the next batch resumes discovery from them, so
-		// even the struct copy must not race with an apply.
+		// Single-shard routing: no duplicates can exist, so matches are
+		// collected directly under the read locks — the store's cached
+		// crowds are detached handles, immutable across later applies.
 		minTicks = -1
 		for si, sh := range e.shards {
 			sh.mu.RLock()
@@ -730,9 +749,7 @@ func (e *Engine) Snapshot(q Query) *Result {
 				if !q.matches(cr) {
 					continue
 				}
-				cp := *cr
-				cp.Origin = nil
-				matched = append(matched, shardCrowd{shard: si, crowd: &cp, gathers: gathers[i]})
+				matched = append(matched, shardCrowd{shard: si, crowd: cr, gathers: gathers[i]})
 			}
 			sh.mu.RUnlock()
 		}
@@ -784,9 +801,7 @@ func (e *Engine) mergedState() ([]shardCrowd, int) {
 		crowds := sh.store.Crowds()
 		gathers := sh.store.Gatherings()
 		for i, cr := range crowds {
-			cp := *cr
-			cp.Origin = nil
-			entries = append(entries, shardCrowd{shard: si, crowd: &cp, gathers: gathers[i]})
+			entries = append(entries, shardCrowd{shard: si, crowd: cr, gathers: gathers[i]})
 		}
 		sh.mu.RUnlock()
 	}

@@ -83,7 +83,7 @@ func mergeShards(entries []shardCrowd, owner func(geo.Point) int, gp gathering.P
 		group := bySig[sig]
 		win := group[0]
 		if len(group) > 1 {
-			want := owner(centroid(entries[win].crowd.Clusters[0]))
+			want := owner(centroid(entries[win].crowd.At(0)))
 			for _, i := range group[1:] {
 				if entries[i].shard == want && entries[win].shard != want {
 					win = i
@@ -161,7 +161,7 @@ func mergeShards(entries []shardCrowd, owner func(geo.Point) int, gp gathering.P
 		if merged[i].shard >= 0 {
 			continue
 		}
-		merged[i].shard = owner(centroid(merged[i].crowd.Clusters[0]))
+		merged[i].shard = owner(centroid(merged[i].crowd.At(0)))
 		merged[i].gathers = gathering.TADStar(merged[i].crowd, gp)
 		st.stitched += frags[i]
 	}
@@ -182,7 +182,7 @@ func centroid(cl *snapshot.Cluster) geo.Point {
 func crowdSig(cr *crowd.Crowd) string {
 	var b strings.Builder
 	b.WriteString(strconv.Itoa(int(cr.Start)))
-	for _, cl := range cr.Clusters {
+	for _, cl := range cr.Clusters() {
 		b.WriteByte('|')
 		for k, id := range cl.Objects {
 			if k > 0 {
@@ -242,8 +242,9 @@ func crowdContains(outer, inner *crowd.Crowd) bool {
 		return false
 	}
 	off := int(inner.Start - outer.Start)
-	for i, cl := range inner.Clusters {
-		if !clusterSubset(cl, outer.Clusters[off+i]) {
+	outerCls := outer.Clusters()
+	for i, cl := range inner.Clusters() {
+		if !clusterSubset(cl, outerCls[off+i]) {
 			return false
 		}
 	}
@@ -266,8 +267,9 @@ func stitchable(a, b *crowd.Crowd) bool {
 	if lo > hi {
 		return false
 	}
+	aCls, bCls := a.Clusters(), b.Clusters()
 	for t := lo; t <= hi; t++ {
-		if !clustersIntersect(a.Clusters[t-a.Start], b.Clusters[t-b.Start]) {
+		if !clustersIntersect(aCls[t-a.Start], bCls[t-b.Start]) {
 			return false
 		}
 	}
@@ -293,12 +295,12 @@ func stitchCrowds(frags []*crowd.Crowd) *crowd.Crowd {
 		at = at[:0]
 		for _, f := range frags {
 			if t >= f.Start && t <= f.End() {
-				at = append(at, f.Clusters[t-f.Start])
+				at = append(at, f.Clusters()[t-f.Start])
 			}
 		}
 		clusters = append(clusters, unionClusters(at))
 	}
-	return &crowd.Crowd{Start: start, Clusters: clusters}
+	return crowd.New(start, clusters)
 }
 
 // unionClusters unions the member sets of clusters observed at one tick.
@@ -364,8 +366,9 @@ func compareCrowds(a, b *crowd.Crowd) int {
 		}
 		return 1
 	}
-	for i := range a.Clusters {
-		ca, cb := a.Clusters[i], b.Clusters[i]
+	aCls, bCls := a.Clusters(), b.Clusters()
+	for i := range aCls {
+		ca, cb := aCls[i], bCls[i]
 		if ca.Len() != cb.Len() {
 			if ca.Len() < cb.Len() {
 				return -1

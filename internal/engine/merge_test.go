@@ -25,11 +25,11 @@ func mkCluster(t trajectory.Tick, base geo.Point, ids ...trajectory.ObjectID) *s
 // mkCrowd builds a crowd starting at start whose cluster at every tick has
 // the same members.
 func mkCrowd(start trajectory.Tick, ticks int, base geo.Point, ids ...trajectory.ObjectID) *crowd.Crowd {
-	cr := &crowd.Crowd{Start: start}
+	cls := make([]*snapshot.Cluster, 0, ticks)
 	for t := 0; t < ticks; t++ {
-		cr.Clusters = append(cr.Clusters, mkCluster(start+trajectory.Tick(t), base, ids...))
+		cls = append(cls, mkCluster(start+trajectory.Tick(t), base, ids...))
 	}
-	return cr
+	return crowd.New(start, cls)
 }
 
 func testGatherParams() gathering.Params { return gathering.Params{KC: 3, KP: 3, MP: 2} }
@@ -96,7 +96,7 @@ func TestMergeStitchesFragments(t *testing.T) {
 		t.Fatalf("fused span %d-%d, want 0-9", fused.Start, fused.End())
 	}
 	// Overlap ticks hold the union of both fragments' members.
-	if got := fused.Clusters[3].Len(); got != 4 {
+	if got := fused.At(3).Len(); got != 4 {
 		t.Fatalf("fused cluster at tick 3 has %d members, want 4", got)
 	}
 	if st.stitched != 2 {

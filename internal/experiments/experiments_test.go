@@ -206,7 +206,7 @@ func TestSyntheticCrowdStructure(t *testing.T) {
 	}
 	// Churn objects never recur: each appears exactly once.
 	counts := map[int]int{}
-	for _, cl := range cr.Clusters {
+	for _, cl := range cr.Clusters() {
 		for _, id := range cl.Objects {
 			if int(id) >= 10 {
 				counts[int(id)]++

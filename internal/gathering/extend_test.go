@@ -1,0 +1,141 @@
+package gathering
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/geo"
+	"repro/internal/snapshot"
+	"repro/internal/trajectory"
+)
+
+// randMembers builds per-tick membership lists with a committed core
+// (objects 0..coreSize-1, each present with probability stay) plus
+// never-recurring churn — the structure that makes gatherings appear,
+// disappear and split, exercising promotion, invalid clusters and the
+// Theorem-2 shortcut.
+func randMembers(r *rand.Rand, ticks, coreSize, churn int, stay float64) [][]trajectory.ObjectID {
+	next := trajectory.ObjectID(coreSize)
+	out := make([][]trajectory.ObjectID, ticks)
+	for t := range out {
+		var ids []trajectory.ObjectID
+		for c := 0; c < coreSize; c++ {
+			if r.Float64() < stay {
+				ids = append(ids, trajectory.ObjectID(c))
+			}
+		}
+		for c := 0; c < 1+r.Intn(churn+1); c++ {
+			ids = append(ids, next)
+			next++
+		}
+		out[t] = ids
+	}
+	return out
+}
+
+func crowdFromMembers(members [][]trajectory.ObjectID) *crowd.Crowd {
+	cls := make([]*snapshot.Cluster, len(members))
+	for t, ids := range members {
+		pts := make([]geo.Point, len(ids))
+		for i := range pts {
+			pts[i] = geo.Point{X: float64(i), Y: float64(t)}
+		}
+		cls[t] = snapshot.NewCluster(trajectory.Tick(t), append([]trajectory.ObjectID(nil), ids...), pts)
+	}
+	return crowd.New(0, cls)
+}
+
+func gatherSpans(gs []*Gathering) [][2]int {
+	out := make([][2]int, len(gs))
+	for i, g := range gs {
+		out[i] = [2]int{g.Lo, g.Hi}
+	}
+	return out
+}
+
+// TestDetectorExtendMatchesFresh is the seeded property test behind the
+// incremental layer's detector cache: growing a detector batch by batch
+// with Extend and running the §III-C2 update must produce exactly the
+// gatherings of a fresh TAD* run over the final crowd, for random crowds,
+// thresholds and batch splits.
+func TestDetectorExtendMatchesFresh(t *testing.T) {
+	r := rand.New(rand.NewSource(397))
+	for trial := 0; trial < 60; trial++ {
+		ticks := 12 + r.Intn(30)
+		members := randMembers(r, ticks, 3+r.Intn(6), r.Intn(3), 0.55+0.4*r.Float64())
+		full := crowdFromMembers(members)
+		p := Params{KC: 2 + r.Intn(3), KP: 2 + r.Intn(4), MP: 1 + r.Intn(3)}
+
+		// Split [0, ticks) into random batches and grow one detector
+		// across them, carrying gatherings through RunIncremental exactly
+		// as incremental.Store does.
+		cut := 2 + r.Intn(ticks-2)
+		prefix := full.Sub(0, cut)
+		det := NewDetector(prefix, p)
+		gs := det.Run()
+		for cut < ticks {
+			step := 1 + r.Intn(ticks-cut)
+			oldLen := cut
+			cut += step
+			var next *crowd.Crowd
+			if cut == ticks {
+				next = full
+			} else {
+				next = full.Sub(0, cut)
+			}
+			det.Extend(next)
+			gs = det.RunIncremental(oldLen, gs)
+		}
+
+		want := TADStar(full, p)
+		if !reflect.DeepEqual(gatherSpans(gs), gatherSpans(want)) {
+			t.Fatalf("trial %d (%+v, %d ticks): incremental %v, fresh %v",
+				trial, p, ticks, gatherSpans(gs), gatherSpans(want))
+		}
+		for i := range gs {
+			if !reflect.DeepEqual(gs[i].Participators, want[i].Participators) {
+				t.Fatalf("trial %d: participators of [%d,%d) differ: %v vs %v",
+					trial, gs[i].Lo, gs[i].Hi, gs[i].Participators, want[i].Participators)
+			}
+		}
+	}
+}
+
+// TestDetectorCloneBranches mirrors a crowd candidate branching: the two
+// branches extend independent detectors from the same prefix, and each
+// must match a fresh run over its own crowd — extending one branch must
+// not disturb the other.
+func TestDetectorCloneBranches(t *testing.T) {
+	r := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 30; trial++ {
+		cut := 8 + r.Intn(8)
+		members := randMembers(r, cut, 4+r.Intn(4), 2, 0.7)
+		prefix := crowdFromMembers(members)
+		p := Params{KC: 3, KP: 2 + r.Intn(3), MP: 1 + r.Intn(2)}
+
+		base := NewDetector(prefix, p)
+		baseGs := base.Run()
+
+		grow := func(det *Detector, seed int64) (*crowd.Crowd, []*Gathering) {
+			rr := rand.New(rand.NewSource(seed))
+			ext := randMembers(rr, 4+rr.Intn(8), 4, 2, 0.7)
+			cls := append(append([]*snapshot.Cluster(nil), prefix.Clusters()...), crowdFromMembers(ext).Clusters()...)
+			cr := crowd.New(0, cls)
+			det.Extend(cr)
+			return cr, det.RunIncremental(cut, baseGs)
+		}
+
+		cl := base.Clone()
+		crA, gsA := grow(base, int64(trial)*2+1)
+		crB, gsB := grow(cl, int64(trial)*2+2)
+
+		if want := TADStar(crA, p); !reflect.DeepEqual(gatherSpans(gsA), gatherSpans(want)) {
+			t.Fatalf("trial %d branch A: %v vs fresh %v", trial, gatherSpans(gsA), gatherSpans(want))
+		}
+		if want := TADStar(crB, p); !reflect.DeepEqual(gatherSpans(gsB), gatherSpans(want)) {
+			t.Fatalf("trial %d branch B: %v vs fresh %v", trial, gatherSpans(gsB), gatherSpans(want))
+		}
+	}
+}

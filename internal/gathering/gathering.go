@@ -12,11 +12,19 @@
 // (Algorithm 2 with per-recursion counting) and TADStar (TAD over bit
 // vector signatures with mask-based division — the BVS is built once and
 // reused by every recursion).
+//
+// A Detector is additionally extendable: when a crowd grows by a batch of
+// new ticks (§III-C), Extend grows the existing signatures, membership
+// lists and participation counts by exactly the new region instead of
+// re-scanning the whole crowd, so the incremental layer's per-batch
+// detection cost is proportional to the batch, not the crowd lifetime.
 package gathering
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/crowd"
@@ -49,19 +57,15 @@ type Gathering struct {
 // Lifetime returns the gathering's duration in ticks.
 func (g *Gathering) Lifetime() int { return g.Hi - g.Lo }
 
-// subCrowd materialises positions [lo, hi) of cr as a crowd value.
-func subCrowd(cr *crowd.Crowd, lo, hi int) *crowd.Crowd {
-	return &crowd.Crowd{
-		Start:    cr.Start + trajectory.Tick(lo),
-		Clusters: cr.Clusters[lo:hi],
-	}
-}
+// countPool recycles the occurrence-count maps behind Participators so the
+// TAD/BruteForce paths and ad-hoc callers stop re-allocating them.
+var countPool = sync.Pool{New: func() any { return make(map[trajectory.ObjectID]int) }}
 
 // Participators returns the objects appearing in at least kp clusters of
 // cr, sorted by ID (Definition 3).
 func Participators(cr *crowd.Crowd, kp int) []trajectory.ObjectID {
-	counts := make(map[trajectory.ObjectID]int)
-	for _, cl := range cr.Clusters {
+	counts := countPool.Get().(map[trajectory.ObjectID]int)
+	for _, cl := range cr.Clusters() {
 		for _, id := range cl.Objects {
 			counts[id]++
 		}
@@ -72,7 +76,9 @@ func Participators(cr *crowd.Crowd, kp int) []trajectory.ObjectID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	clear(counts)
+	countPool.Put(counts)
+	slices.Sort(out)
 	return out
 }
 
@@ -84,7 +90,7 @@ func IsGathering(cr *crowd.Crowd, p Params) ([]trajectory.ObjectID, bool) {
 	for _, id := range par {
 		isPar[id] = true
 	}
-	for _, cl := range cr.Clusters {
+	for _, cl := range cr.Clusters() {
 		n := 0
 		for _, id := range cl.Objects {
 			if isPar[id] {
@@ -118,7 +124,7 @@ func BruteForce(cr *crowd.Crowd, p Params) []*Gathering {
 			if contained {
 				continue
 			}
-			sub := subCrowd(cr, lo, hi)
+			sub := cr.Sub(lo, hi)
 			if par, ok := IsGathering(sub, p); ok {
 				out = append(out, &Gathering{Crowd: sub, Lo: lo, Hi: hi, Participators: par})
 			}
@@ -131,10 +137,11 @@ func BruteForce(cr *crowd.Crowd, p Params) []*Gathering {
 // TAD is Algorithm 2 with straightforward occurrence counting repeated
 // from scratch in every recursion.
 func TAD(cr *crowd.Crowd, p Params) []*Gathering {
+	cls := cr.Clusters()
 	var out []*Gathering
 	var rec func(lo, hi int)
 	rec = func(lo, hi int) {
-		sub := subCrowd(cr, lo, hi)
+		sub := cr.Sub(lo, hi)
 		par := Participators(sub, p.KP)
 		isPar := make(map[trajectory.ObjectID]bool, len(par))
 		for _, id := range par {
@@ -144,7 +151,7 @@ func TAD(cr *crowd.Crowd, p Params) []*Gathering {
 		var invalid []int
 		for i := lo; i < hi; i++ {
 			n := 0
-			for _, id := range cr.Clusters[i].Objects {
+			for _, id := range cls[i].Objects {
 				if isPar[id] {
 					n++
 				}
@@ -187,16 +194,41 @@ func segments(lo, hi int, invalid []int) [][2]int {
 	return out
 }
 
-// Detector holds the bit vector signatures of a crowd's objects, built
-// once and shared by every TAD* recursion and by the incremental gathering
-// update.
+// Detector holds the bit vector signatures of a crowd's objects, built in
+// one scan and shared by every TAD* recursion, by the incremental
+// gathering update, and — through Extend — across batches: the incremental
+// layer caches the detector of every live tail crowd and grows it by the
+// new ticks on each arrival instead of rebuilding it.
 type Detector struct {
 	cr *crowd.Crowd
 	p  Params
+	n  int // ticks covered == cr.Lifetime()
 
-	objs    []trajectory.ObjectID // dense index -> object ID, sorted
+	objs    []trajectory.ObjectID // dense index -> object ID, in first-appearance order
+	idx     []int32               // object ID -> dense index, -1 when absent
 	vecs    []bitvec.Vector       // BVS per dense object index
 	members [][]int32             // per cluster position: dense object indices
+
+	// Incremental whole-crowd state, maintained by extendTo: counts is
+	// each object's total appearance count (== popcount of its vector);
+	// parTick is, per cluster position, how many of its members are
+	// whole-crowd participators (counts ≥ KP). Together they make the
+	// top-level Test step O(objects + ticks) with no bit scanning at all:
+	// counts replace the masked popcounts and parTick replaces the
+	// member-list walk. Both are cheap to maintain because extension only
+	// ever adds appearances — an object's participator status and a
+	// cluster's valid status are monotone under extension.
+	counts  []int32
+	parTick []int32
+
+	all   []int32 // cached identity alive-set for top-level tests
+	isPar []bool  // scratch for test, cleared before each return
+
+	// spare holds pre-carved signature vectors (one shared backing array
+	// per batch of 64) handed to newly admitted objects; dropped whenever
+	// the signature word width grows, since stale-width vectors would
+	// re-allocate on first use anyway.
+	spare []bitvec.Vector
 }
 
 // NewDetector builds the signatures for cr: one scan of the crowd
@@ -204,93 +236,162 @@ type Detector struct {
 // throughout the pipeline), so the object index is a flat slice keyed by
 // ID rather than a hash map.
 func NewDetector(cr *crowd.Crowd, p Params) *Detector {
-	n := cr.Lifetime()
-	maxID := trajectory.ObjectID(-1)
-	for _, cl := range cr.Clusters {
-		for _, id := range cl.Objects {
-			if id > maxID {
-				maxID = id
-			}
-		}
+	d := &Detector{p: p, cr: cr}
+	d.extendTo(cr)
+	return d
+}
+
+// Extend grows the detector from its current crowd to cr, which must be an
+// extension of it (same prefix, new clusters appended — the relation
+// DiscoverFrom's Origin links encode). Only the new region is scanned.
+func (d *Detector) Extend(cr *crowd.Crowd) {
+	if cr.Lifetime() < d.n {
+		panic(fmt.Sprintf("gathering: Extend to shorter crowd (%d < %d ticks)", cr.Lifetime(), d.n))
 	}
-	idx := make([]int32, maxID+1)
-	for i := range idx {
-		idx[i] = -1
+	d.extendTo(cr)
+}
+
+// extendTo ingests cluster positions [d.n, cr.Lifetime()) of cr.
+func (d *Detector) extendTo(cr *crowd.Crowd) {
+	oldN, n := d.n, cr.Lifetime()
+	d.cr = cr
+	d.n = n
+	if n == oldN {
+		return
 	}
-	var objs []trajectory.ObjectID
-	for _, cl := range cr.Clusters {
-		for _, id := range cl.Objects {
-			if idx[id] < 0 {
-				idx[id] = 0 // provisional; re-mapped below
-				objs = append(objs, id)
-			}
-		}
-	}
-	// map densely in sorted ID order for deterministic output
-	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
-	for i, id := range objs {
-		idx[id] = int32(i)
-	}
-	d := &Detector{
-		cr:      cr,
-		p:       p,
-		objs:    objs,
-		vecs:    make([]bitvec.Vector, len(objs)),
-		members: make([][]int32, n),
+	if (n+63)/64 != (oldN+63)/64 {
+		d.spare = nil
 	}
 	for i := range d.vecs {
-		d.vecs[i] = bitvec.New(n)
+		d.vecs[i] = d.vecs[i].Grow(n)
 	}
-	for t, cl := range cr.Clusters {
+	for len(d.members) < n {
+		d.members = append(d.members, nil)
+		d.parTick = append(d.parTick, 0)
+	}
+	cls := cr.Clusters()
+	for t := oldN; t < n; t++ {
+		cl := cls[t]
 		ms := make([]int32, len(cl.Objects))
 		for k, id := range cl.Objects {
-			oi := idx[id]
+			for int(id) >= len(d.idx) {
+				d.idx = append(d.idx, -1)
+			}
+			oi := d.idx[id]
+			if oi < 0 {
+				oi = int32(len(d.objs))
+				d.idx[id] = oi
+				d.objs = append(d.objs, id)
+				if len(d.spare) == 0 {
+					d.spare = bitvec.NewBatch(64, n)
+				}
+				v := d.spare[len(d.spare)-1]
+				d.spare = d.spare[:len(d.spare)-1]
+				if v.Len() != n {
+					v = v.Grow(n)
+				}
+				d.vecs = append(d.vecs, v)
+				d.counts = append(d.counts, 0)
+				d.all = append(d.all, oi)
+				d.isPar = append(d.isPar, false)
+			}
 			ms[k] = oi
 			d.vecs[oi].Set(t)
+			d.counts[oi]++
+			switch {
+			case int(d.counts[oi]) == d.p.KP:
+				// The object just became a whole-crowd participator:
+				// credit every cluster it appears in, including this one.
+				v := d.vecs[oi]
+				for u := v.NextSetBit(0); u >= 0; u = v.NextSetBit(u + 1) {
+					d.parTick[u]++
+				}
+			case int(d.counts[oi]) > d.p.KP:
+				d.parTick[t]++
+			}
 		}
 		d.members[t] = ms
 	}
-	return d
+}
+
+// Clone returns an independent copy of the detector, for the rare case of
+// a crowd candidate branching into several extensions: each branch needs
+// its own signatures to grow.
+func (d *Detector) Clone() *Detector {
+	c := &Detector{
+		cr:      d.cr,
+		p:       d.p,
+		n:       d.n,
+		objs:    append([]trajectory.ObjectID(nil), d.objs...),
+		idx:     append([]int32(nil), d.idx...),
+		vecs:    make([]bitvec.Vector, len(d.vecs)),
+		members: append([][]int32(nil), d.members...), // per-tick lists are immutable
+		counts:  append([]int32(nil), d.counts...),
+		parTick: append([]int32(nil), d.parTick...),
+		all:     append([]int32(nil), d.all...),
+		isPar:   make([]bool, len(d.isPar)),
+		// spare stays with the original: carved vectors share backing.
+	}
+	for i := range d.vecs {
+		c.vecs[i] = d.vecs[i].Clone()
+	}
+	return c
 }
 
 // test computes, for the sub-crowd [lo, hi) restricted to the candidate
 // objects alive, the participator set and the invalid cluster positions.
-// Counting is a masked popcount per object — the Test step of TAD*.
+// The whole-crowd case reads the incrementally maintained counts — O(objs
+// + ticks); proper sub-ranges count with a masked popcount per object —
+// the Test step of TAD*.
 func (d *Detector) test(lo, hi int, alive []int32) (par []int32, invalid []int) {
-	mask := bitvec.RangeMask(d.vecs[0].Len(), lo, hi)
-	isPar := make([]bool, len(d.objs))
-	for _, oi := range alive {
-		if d.vecs[oi].PopcountMasked(mask) >= d.p.KP {
-			isPar[oi] = true
-			par = append(par, oi)
-		}
-	}
-	for t := lo; t < hi; t++ {
-		n := 0
-		for _, oi := range d.members[t] {
-			if isPar[oi] {
-				n++
+	isPar := d.isPar
+	if lo == 0 && hi == d.n {
+		// alive is d.all here (the top-level call): parTick already counts
+		// participators over all objects.
+		for _, oi := range alive {
+			if int(d.counts[oi]) >= d.p.KP {
+				isPar[oi] = true
+				par = append(par, oi)
 			}
 		}
-		if n < d.p.MP {
-			invalid = append(invalid, t)
+		for t := lo; t < hi; t++ {
+			if int(d.parTick[t]) < d.p.MP {
+				invalid = append(invalid, t)
+			}
 		}
+	} else {
+		mask := bitvec.RangeMask(d.n, lo, hi)
+		for _, oi := range alive {
+			if d.vecs[oi].PopcountMasked(mask) >= d.p.KP {
+				isPar[oi] = true
+				par = append(par, oi)
+			}
+		}
+		for t := lo; t < hi; t++ {
+			n := 0
+			for _, oi := range d.members[t] {
+				if isPar[oi] {
+					n++
+				}
+			}
+			if n < d.p.MP {
+				invalid = append(invalid, t)
+			}
+		}
+	}
+	for _, oi := range par {
+		isPar[oi] = false
 	}
 	return par, invalid
 }
 
 // Run executes TAD* over the whole crowd.
 func (d *Detector) Run() []*Gathering {
-	n := d.cr.Lifetime()
-	if n < d.p.KC || len(d.objs) == 0 {
+	if d.n < d.p.KC || len(d.objs) == 0 {
 		return nil
 	}
-	all := make([]int32, len(d.objs))
-	for i := range all {
-		all[i] = int32(i)
-	}
 	var out []*Gathering
-	d.rec(0, n, all, &out)
+	d.rec(0, d.n, d.all, &out)
 	sortGatherings(out)
 	return out
 }
@@ -317,9 +418,9 @@ func (d *Detector) materialise(lo, hi int, par []int32) *Gathering {
 	for i, oi := range par {
 		ids[i] = d.objs[oi]
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return &Gathering{
-		Crowd:         subCrowd(d.cr, lo, hi),
+		Crowd:         d.cr.Sub(lo, hi),
 		Lo:            lo,
 		Hi:            hi,
 		Participators: ids,
@@ -331,17 +432,16 @@ func (d *Detector) materialise(lo, hi int, par []int32) *Gathering {
 // are the closed gatherings previously detected in it. Using Theorem 2: if
 // some cluster at position j ≤ oldLen is invalid in the extended crowd,
 // every old gathering entirely before j remains closed and only the
-// sub-crowds right of j need re-examination.
+// sub-crowds right of j need re-examination. Combined with Extend and the
+// incremental whole-crowd Test state, the per-batch cost is proportional
+// to the new region (plus a linear integer scan of parTick), not to a
+// re-scan of the crowd's history.
 func (d *Detector) RunIncremental(oldLen int, oldGatherings []*Gathering) []*Gathering {
-	n := d.cr.Lifetime()
+	n := d.n
 	if n < d.p.KC || len(d.objs) == 0 {
 		return nil
 	}
-	all := make([]int32, len(d.objs))
-	for i := range all {
-		all[i] = int32(i)
-	}
-	par, invalid := d.test(0, n, all)
+	par, invalid := d.test(0, n, d.all)
 	if len(invalid) == 0 {
 		out := []*Gathering{d.materialise(0, n, par)}
 		return out

@@ -14,16 +14,16 @@ import (
 // mkCrowd builds a crowd from per-tick membership lists. Points are
 // synthetic (gathering detection never looks at geometry).
 func mkCrowd(members [][]trajectory.ObjectID) *crowd.Crowd {
-	cr := &crowd.Crowd{Start: 0}
+	cls := make([]*snapshot.Cluster, 0, len(members))
 	for t, ids := range members {
 		pts := make([]geo.Point, len(ids))
 		for i := range pts {
 			pts[i] = geo.Point{X: float64(i), Y: 0}
 		}
 		cp := append([]trajectory.ObjectID(nil), ids...)
-		cr.Clusters = append(cr.Clusters, snapshot.NewCluster(trajectory.Tick(t), cp, pts))
+		cls = append(cls, snapshot.NewCluster(trajectory.Tick(t), cp, pts))
 	}
-	return cr
+	return crowd.New(0, cls)
 }
 
 // figure3Crowd is the crowd of Fig. 3 / Example 3, reconstructed from the
@@ -117,7 +117,7 @@ func TestNoDownwardClosure(t *testing.T) {
 }
 
 func subCrowdForTest(cr *crowd.Crowd, lo, hi int) *crowd.Crowd {
-	return subCrowd(cr, lo, hi)
+	return cr.Sub(lo, hi)
 }
 
 func TestParamsValidate(t *testing.T) {
@@ -288,7 +288,7 @@ func TestRunIncrementalReusesOldGatherings(t *testing.T) {
 }
 
 func TestEmptyCrowd(t *testing.T) {
-	cr := &crowd.Crowd{}
+	cr := crowd.New(0, nil)
 	p := Params{KC: 1, KP: 1, MP: 1}
 	if got := TADStar(cr, p); len(got) != 0 {
 		t.Fatalf("empty crowd: %v", got)

@@ -100,9 +100,10 @@ func (fc *FeatureCollection) AddCrowd(cr *crowd.Crowd, proj Projector) {
 	if proj == nil {
 		proj = identity
 	}
-	coords := make([][2]float64, len(cr.Clusters))
-	sizes := make([]int, len(cr.Clusters))
-	for i, c := range cr.Clusters {
+	cls := cr.Clusters()
+	coords := make([][2]float64, len(cls))
+	sizes := make([]int, len(cls))
+	for i, c := range cls {
 		coords[i] = proj(c.MBR().Center())
 		sizes[i] = c.Len()
 	}
@@ -126,7 +127,7 @@ func (fc *FeatureCollection) AddGathering(g *gathering.Gathering, proj Projector
 		proj = identity
 	}
 	box := geo.EmptyRect()
-	for _, c := range g.Crowd.Clusters {
+	for _, c := range g.Crowd.Clusters() {
 		box = box.Union(c.MBR())
 	}
 	ring := [][2]float64{

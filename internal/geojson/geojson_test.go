@@ -86,12 +86,12 @@ func TestAddTrajectory(t *testing.T) {
 }
 
 func crowdOf(start trajectory.Tick, centers ...geo.Point) *crowd.Crowd {
-	cr := &crowd.Crowd{Start: start}
+	cls := make([]*snapshot.Cluster, 0, len(centers))
 	for i, c := range centers {
-		cr.Clusters = append(cr.Clusters, mkCluster(start+trajectory.Tick(i),
+		cls = append(cls, mkCluster(start+trajectory.Tick(i),
 			c, geo.Point{X: c.X + 10, Y: c.Y + 10}))
 	}
-	return cr
+	return crowd.New(start, cls)
 }
 
 func TestAddCrowdAndGathering(t *testing.T) {

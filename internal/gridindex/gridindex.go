@@ -23,8 +23,6 @@
 package gridindex
 
 import (
-	"sort"
-
 	"repro/internal/geo"
 	"repro/internal/snapshot"
 )
@@ -82,8 +80,18 @@ func Decompose(c *snapshot.Cluster, s float64) Decomposition {
 			d = append(d, cellPts{cell: cell, pts: []int32{int32(i)}})
 		}
 	}
-	sort.Slice(d, func(i, j int) bool { return d[i].cell.key() < d[j].cell.key() })
+	sortDecomp(d)
 	return d
+}
+
+// sortDecomp orders a cell list by cell key. Cell lists are short, so an
+// insertion sort beats sort.Slice and allocates nothing.
+func sortDecomp(d Decomposition) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j].cell.key() < d[j-1].cell.key(); j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
 }
 
 func cellOf(p geo.Point, s float64) Cell {
@@ -142,11 +150,24 @@ type Index struct {
 	decomp    []Decomposition
 	byCluster map[*snapshot.Cluster]int32
 	inv       map[int64][]int32 // cluster indices per occupied cell
+	live      int               // cells occupied by the current build
 
-	// stamp marks candidates during generation; reused across RangeSearch
-	// calls (an Index serves one goroutine at a time, which is how
-	// Algorithm 1 uses it).
+	// stamp marks candidates during generation and alive is the candidate
+	// scratch; both are reused across RangeSearch calls (an Index serves
+	// one goroutine at a time, which is how Algorithm 1 uses it).
 	stamp []int32
+	alive []int32
+
+	// Arena storage behind the decompositions, recycled by BuildReuse:
+	// every cell list is a window of entriesArena and every point bucket a
+	// window of ptsArena, so indexing a tick costs O(1) allocations once
+	// the arenas have grown to the working-set size. ptCell, cellsScratch
+	// and countsScratch are the per-cluster decomposition scratch.
+	entriesArena  []cellPts
+	ptsArena      []int32
+	ptCell        []Cell
+	cellsScratch  []Cell
+	countsScratch []int32
 
 	// Candidates and Results accumulate pruning statistics: clusters that
 	// reached the refinement phase and clusters that passed it.
@@ -156,25 +177,145 @@ type Index struct {
 
 // Build indexes clusters for variation threshold delta.
 func Build(clusters []*snapshot.Cluster, delta float64) *Index {
-	ix := &Index{
-		delta:     delta,
-		side:      CellSide(delta),
-		clusters:  clusters,
-		decomp:    make([]Decomposition, len(clusters)),
-		byCluster: make(map[*snapshot.Cluster]int32, len(clusters)),
-		inv:       make(map[int64][]int32, len(clusters)*4),
+	return BuildReuse(nil, clusters, delta)
+}
+
+// BuildReuse indexes clusters like Build but recycles the internal storage
+// of spent — an index the caller has fully retired (no live references to
+// it or to decompositions obtained from it). The per-tick construction the
+// paper credits the grid scheme with then costs O(1) allocations in steady
+// state: the sweep retires its tick-before-last index on every Prepare and
+// hands it back here. Pass spent == nil to allocate fresh.
+func BuildReuse(spent *Index, clusters []*snapshot.Cluster, delta float64) *Index {
+	ix := spent
+	if ix == nil {
+		ix = &Index{
+			byCluster: make(map[*snapshot.Cluster]int32, len(clusters)),
+			inv:       make(map[int64][]int32, len(clusters)*4),
+		}
+	} else {
+		clear(ix.byCluster)
+		// The previous build left exactly ix.live non-empty lists. Empty
+		// lists are kept warm for cells that reoccur tick to tick, but
+		// once stale cells far outnumber live ones (a stream drifting
+		// across a large region) they are dropped — otherwise the map and
+		// this reset loop grow with every cell ever occupied rather than
+		// with the working set.
+		if stale := len(ix.inv) - ix.live; stale > 3*ix.live+64 {
+			for k, v := range ix.inv {
+				if len(v) == 0 {
+					delete(ix.inv, k)
+				} else {
+					ix.inv[k] = v[:0]
+				}
+			}
+		} else {
+			for k, v := range ix.inv {
+				ix.inv[k] = v[:0]
+			}
+		}
+		ix.Candidates, ix.Results = 0, 0
 	}
+	ix.live = 0
+	ix.delta = delta
+	ix.side = CellSide(delta)
+	ix.clusters = clusters
+
+	// Pre-size the arenas so carving can never reallocate mid-build
+	// (earlier windows would dangle): a cluster has at most one cell — and
+	// exactly one point bucket entry — per point.
+	total := 0
+	for _, c := range clusters {
+		total += c.Len()
+	}
+	if cap(ix.ptsArena) < total {
+		ix.ptsArena = make([]int32, 0, total)
+	}
+	ix.ptsArena = ix.ptsArena[:0]
+	if cap(ix.entriesArena) < total {
+		ix.entriesArena = make([]cellPts, 0, total)
+	}
+	ix.entriesArena = ix.entriesArena[:0]
+	if cap(ix.decomp) < len(clusters) {
+		ix.decomp = make([]Decomposition, len(clusters))
+	}
+	ix.decomp = ix.decomp[:len(clusters)]
+	if cap(ix.stamp) < len(clusters) {
+		ix.stamp = make([]int32, len(clusters))
+	}
+	ix.stamp = ix.stamp[:len(clusters)]
+	clear(ix.stamp)
+
 	for i, c := range clusters {
-		d := Decompose(c, ix.side)
+		d := ix.decomposeInto(c)
 		ix.decomp[i] = d
 		ix.byCluster[c] = int32(i)
 		for j := range d {
 			k := d[j].cell.key()
-			ix.inv[k] = append(ix.inv[k], int32(i))
+			l := ix.inv[k]
+			if len(l) == 0 {
+				ix.live++
+			}
+			ix.inv[k] = append(l, int32(i))
 		}
 	}
-	ix.stamp = make([]int32, len(clusters))
 	return ix
+}
+
+// decomposeInto buckets c's points by grid cell into the index arenas:
+// a counting pass finds the distinct cells and their sizes, the cell list
+// and the point buckets are carved as windows of the shared arrays, and a
+// placement pass fills the buckets — no per-cluster allocations.
+func (ix *Index) decomposeInto(c *snapshot.Cluster) Decomposition {
+	if cap(ix.ptCell) < len(c.Points) {
+		ix.ptCell = make([]Cell, len(c.Points))
+	}
+	pc := ix.ptCell[:len(c.Points)]
+	cells := ix.cellsScratch[:0]
+	counts := ix.countsScratch[:0]
+	for i, p := range c.Points {
+		cell := cellOf(p, ix.side)
+		pc[i] = cell
+		found := -1
+		for j := range cells {
+			if cells[j] == cell {
+				found = j
+				break
+			}
+		}
+		if found >= 0 {
+			counts[found]++
+		} else {
+			cells = append(cells, cell)
+			counts = append(counts, 1)
+		}
+	}
+	ix.cellsScratch, ix.countsScratch = cells, counts
+	// Sort the (few) distinct cells by key, carrying their counts along.
+	for i := 1; i < len(cells); i++ {
+		for j := i; j > 0 && cells[j].key() < cells[j-1].key(); j-- {
+			cells[j], cells[j-1] = cells[j-1], cells[j]
+			counts[j], counts[j-1] = counts[j-1], counts[j]
+		}
+	}
+	eb := len(ix.entriesArena)
+	cur := len(ix.ptsArena)
+	ix.ptsArena = ix.ptsArena[:cur+len(pc)]
+	for j := range cells {
+		hi := cur + int(counts[j])
+		ix.entriesArena = append(ix.entriesArena, cellPts{cell: cells[j], pts: ix.ptsArena[cur:cur:hi]})
+		cur = hi
+	}
+	d := Decomposition(ix.entriesArena[eb:len(ix.entriesArena):len(ix.entriesArena)])
+	for i := range pc {
+		for j := range d {
+			if d[j].cell == pc[i] {
+				d[j].pts = append(d[j].pts, int32(i))
+				break
+			}
+		}
+	}
+	return d
 }
 
 // Len returns the number of indexed clusters.
@@ -196,18 +337,19 @@ func (ix *Index) DecompositionOf(c *snapshot.Cluster) (Decomposition, bool) {
 	return ix.decomp[i], true
 }
 
-// RangeSearch returns the indices of all indexed clusters cj with
-// dH(q, cj) ≤ δ, decomposing the query on the fly.
-func (ix *Index) RangeSearch(q *snapshot.Cluster) []int32 {
-	return ix.RangeSearchDecomposed(q, Decompose(q, ix.side))
+// RangeSearch appends to dst the indices of all indexed clusters cj with
+// dH(q, cj) ≤ δ, decomposing the query on the fly. Callers pass their
+// previous result (resliced to zero length) to reuse its capacity.
+func (ix *Index) RangeSearch(q *snapshot.Cluster, dst []int32) []int32 {
+	return ix.RangeSearchDecomposed(q, Decompose(q, ix.side), dst)
 }
 
 // RangeSearchDecomposed is RangeSearch with a caller-supplied query
 // decomposition (normally obtained from the previous tick's index via
 // DecompositionOf).
-func (ix *Index) RangeSearchDecomposed(q *snapshot.Cluster, qd Decomposition) []int32 {
+func (ix *Index) RangeSearchDecomposed(q *snapshot.Cluster, qd Decomposition, dst []int32) []int32 {
 	if len(q.Points) == 0 || len(ix.clusters) == 0 {
-		return nil
+		return dst
 	}
 
 	// Pruning: a candidate must overlap the affect region of every query
@@ -216,7 +358,7 @@ func (ix *Index) RangeSearchDecomposed(q *snapshot.Cluster, qd Decomposition) []
 	// filters that (small) candidate set with integer cell-offset tests —
 	// no hashing on the hot path.
 	g0 := qd[0].cell
-	var alive []int32
+	alive := ix.alive[:0]
 	for _, o := range affectOffsets {
 		k := Cell{g0.X + o[0], g0.Y + o[1]}.key()
 		for _, cl := range ix.inv[k] {
@@ -240,14 +382,15 @@ func (ix *Index) RangeSearchDecomposed(q *snapshot.Cluster, qd Decomposition) []
 		alive = keep
 	}
 	ix.Candidates += len(alive)
-	var out []int32
+	ix.alive = alive[:0]
+	n := len(dst)
 	for _, cl := range alive {
 		if ix.refine(q, qd, cl) {
-			out = append(out, cl)
+			dst = append(dst, cl)
 		}
 	}
-	ix.Results += len(out)
-	return out
+	ix.Results += len(dst) - n
+	return dst
 }
 
 // decompIntersectsAR reports whether any cell of d lies in the affect

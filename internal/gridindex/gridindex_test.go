@@ -153,7 +153,7 @@ func TestRangeSearchMatchesBrute(t *testing.T) {
 		ix := Build(cs, delta)
 		for q := 0; q < 10; q++ {
 			query := randCluster(r, float64(r.Intn(5))*60, float64(r.Intn(5))*60, 10+r.Float64()*20, 3+r.Intn(15))
-			got := sorted(ix.RangeSearch(query))
+			got := sorted(ix.RangeSearch(query, nil))
 			want := sorted(bruteRange(query, cs, delta))
 			if !equal(got, want) {
 				t.Fatalf("trial %d query %d: got %v want %v", trial, q, got, want)
@@ -166,7 +166,7 @@ func TestRangeSearchIdenticalCluster(t *testing.T) {
 	r := rand.New(rand.NewSource(37))
 	c := randCluster(r, 0, 0, 30, 20)
 	ix := Build([]*snapshot.Cluster{c}, 25)
-	got := ix.RangeSearch(c)
+	got := ix.RangeSearch(c, nil)
 	if len(got) != 1 || got[0] != 0 {
 		t.Fatalf("cluster does not match itself: %v", got)
 	}
@@ -175,13 +175,13 @@ func TestRangeSearchIdenticalCluster(t *testing.T) {
 func TestRangeSearchEmpty(t *testing.T) {
 	ix := Build(nil, 10)
 	q := mkCluster(0, []geo.Point{{X: 0, Y: 0}})
-	if got := ix.RangeSearch(q); got != nil {
+	if got := ix.RangeSearch(q, nil); got != nil {
 		t.Fatalf("empty index returned %v", got)
 	}
 	cs := []*snapshot.Cluster{mkCluster(0, []geo.Point{{X: 0, Y: 0}})}
 	ix = Build(cs, 10)
 	empty := &snapshot.Cluster{}
-	if got := ix.RangeSearch(empty); got != nil {
+	if got := ix.RangeSearch(empty, nil); got != nil {
 		t.Fatalf("empty query returned %v", got)
 	}
 }
@@ -190,7 +190,7 @@ func TestRangeSearchFarCluster(t *testing.T) {
 	a := mkCluster(0, []geo.Point{{X: 0, Y: 0}, {X: 5, Y: 5}})
 	b := mkCluster(0, []geo.Point{{X: 1000, Y: 1000}})
 	ix := Build([]*snapshot.Cluster{b}, 50)
-	if got := ix.RangeSearch(a); len(got) != 0 {
+	if got := ix.RangeSearch(a, nil); len(got) != 0 {
 		t.Fatalf("far cluster matched: %v", got)
 	}
 }
@@ -205,12 +205,12 @@ func TestRangeSearchOutlierPoint(t *testing.T) {
 	a := mkCluster(0, core)
 	b := mkCluster(0, withOutlier)
 	ix := Build([]*snapshot.Cluster{b}, 50)
-	if got := ix.RangeSearch(a); len(got) != 0 {
+	if got := ix.RangeSearch(a, nil); len(got) != 0 {
 		t.Fatalf("outlier cluster matched: %v", got)
 	}
 	// With δ large enough to cover the outlier they match.
 	ix = Build([]*snapshot.Cluster{b}, 250)
-	if got := ix.RangeSearch(a); len(got) != 1 {
+	if got := ix.RangeSearch(a, nil); len(got) != 1 {
 		t.Fatalf("outlier cluster should match at δ=250: %v", got)
 	}
 }
@@ -225,10 +225,55 @@ func TestRangeSearchManyClustersStress(t *testing.T) {
 	ix := Build(cs, delta)
 	for q := 0; q < 25; q++ {
 		query := cs[r.Intn(len(cs))]
-		got := sorted(ix.RangeSearch(query))
+		got := sorted(ix.RangeSearch(query, nil))
 		want := sorted(bruteRange(query, cs, delta))
 		if !equal(got, want) {
 			t.Fatalf("query %d: got %v want %v", q, got, want)
 		}
+	}
+}
+
+// TestBuildReuseDriftBoundsInvMap replays a stream whose clusters drift
+// across a large region through one recycled index pair. The inverted map
+// keeps empty cell lists warm for reoccurring cells, but for a drifting
+// working set it must shed stale cells instead of accumulating every cell
+// ever occupied — otherwise per-tick rebuild cost grows with stream age.
+// Correctness under recycling (including right after a shed) is checked
+// against a fresh build every tick.
+func TestBuildReuseDriftBoundsInvMap(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	delta := 40.0
+	var spent *Index
+	maxInv, maxLive := 0, 0
+	for tick := 0; tick < 400; tick++ {
+		// ~6 clusters in a window that has moved on entirely every few
+		// hundred ticks.
+		off := float64(tick) * 150
+		var cs []*snapshot.Cluster
+		for i := 0; i < 6; i++ {
+			cs = append(cs, randCluster(r, off+r.Float64()*800, r.Float64()*800, 5+r.Float64()*15, 2+r.Intn(10)))
+		}
+		ix := BuildReuse(spent, cs, delta)
+		if tick%37 == 0 {
+			fresh := Build(cs, delta)
+			q := cs[r.Intn(len(cs))]
+			if got, want := sorted(ix.RangeSearch(q, nil)), sorted(fresh.RangeSearch(q, nil)); !equal(got, want) {
+				t.Fatalf("tick %d: reused index got %v want %v", tick, got, want)
+			}
+		}
+		if len(ix.inv) > maxInv {
+			maxInv = len(ix.inv)
+		}
+		if ix.live > maxLive {
+			maxLive = ix.live
+		}
+		spent = ix
+	}
+	// A reset keeps at most 3*live+64 stale keys plus the live ones, and
+	// the following build adds at most one working set more, so the map
+	// is bounded by ~5*maxLive+64. Unbounded accumulation would reach
+	// ~10k+ keys over this drift.
+	if limit := 5*maxLive + 64; maxInv > limit {
+		t.Fatalf("inv map grew to %d keys (max live %d, limit %d): stale cells not shed", maxInv, maxLive, limit)
 	}
 }

@@ -5,11 +5,17 @@
 //   - the closed crowds found so far and their gatherings,
 //   - the saved candidate set CS: every cluster sequence that ends at the
 //     most recent tick — the only sequences a new batch can extend
-//     (Lemma 4).
+//     (Lemma 4),
+//   - for each live closed crowd in CS, its gathering Detector: the bit
+//     vector signatures and participation counts, grown in place by each
+//     batch's new ticks.
 //
-// Appending a batch resumes Algorithm 1 from the saved candidates, and
-// gathering detection on extended crowds reuses the old crowd's gatherings
-// through the update rule of Theorem 2.
+// Appending a batch resumes Algorithm 1 from the saved candidates (crowd
+// extension is O(1) per cluster — crowds are persistent structures sharing
+// their prefix), and gathering detection on extended crowds extends the
+// cached detector and reuses the old crowd's gatherings through the update
+// rule of Theorem 2. Per-batch cost is therefore proportional to the batch
+// rather than to the stream age.
 package incremental
 
 import (
@@ -27,7 +33,12 @@ import (
 type Store struct {
 	crowdParams  crowd.Params
 	gatherParams gathering.Params
-	newSearcher  func() crowd.Searcher
+	// searcher is reused across Appends: searchers carry per-sweep state
+	// keyed to the previous Prepare, and for a resumed sweep the previous
+	// Prepare was the last tick of the previous batch — exactly the tick
+	// the saved candidates’ last clusters live at, so cross-batch reuse is
+	// both safe and what the grid scheme's decomposition cache wants.
+	searcher crowd.Searcher
 
 	cdb *snapshot.CDB
 
@@ -42,10 +53,20 @@ type Store struct {
 	// gatherings of tail members that are closed crowds, reused by the
 	// gathering update when the crowd is extended.
 	tailGathers map[*crowd.Crowd][]*gathering.Gathering
+	// detectors of tail members that are closed crowds, extended in place
+	// (or cloned, when a candidate branches) by the next Append.
+	tailDetectors map[*crowd.Crowd]*gathering.Detector
+
+	// crowdsCache/gathersCache memoize the Crowds()/Gatherings() answers:
+	// the interior prefix is append-only, so only the tail suffix is
+	// rebuilt per Append and steady-state reads allocate nothing.
+	crowdsCache    []*crowd.Crowd
+	gathersCache   [][]*gathering.Gathering
+	cachedInterior int
 }
 
-// New creates an empty store. newSearcher constructs a fresh range
-// searcher per Append (searchers carry per-sweep state).
+// New creates an empty store. newSearcher constructs the store's range
+// searcher, reused across every Append.
 func New(cp crowd.Params, gp gathering.Params, newSearcher func() crowd.Searcher) (*Store, error) {
 	if err := cp.Validate(); err != nil {
 		return nil, err
@@ -57,11 +78,12 @@ func New(cp crowd.Params, gp gathering.Params, newSearcher func() crowd.Searcher
 		return nil, fmt.Errorf("incremental: nil searcher factory")
 	}
 	return &Store{
-		crowdParams:  cp,
-		gatherParams: gp,
-		newSearcher:  newSearcher,
-		cdb:          &snapshot.CDB{},
-		tailGathers:  map[*crowd.Crowd][]*gathering.Gathering{},
+		crowdParams:   cp,
+		gatherParams:  gp,
+		searcher:      newSearcher(),
+		cdb:           &snapshot.CDB{},
+		tailGathers:   map[*crowd.Crowd][]*gathering.Gathering{},
+		tailDetectors: map[*crowd.Crowd]*gathering.Detector{},
 	}, nil
 }
 
@@ -77,69 +99,113 @@ func (s *Store) Append(batch *snapshot.CDB) {
 	}
 	s.cdb.Append(batch)
 
-	res := crowd.DiscoverFrom(s.cdb, oldN, s.tail, s.crowdParams, s.newSearcher())
+	res := crowd.DiscoverFrom(s.cdb, oldN, s.tail, s.crowdParams, s.searcher)
+
+	// A cached detector is extended destructively, so when an old
+	// candidate branched into several closed crowds every claimant but the
+	// last must clone it first. Count the claims up front.
+	var claims map[*crowd.Crowd]int
+	for _, cr := range res.Crowds {
+		if o := cr.Origin; o != nil && o != cr {
+			if _, ok := s.tailDetectors[o]; ok {
+				if claims == nil {
+					claims = make(map[*crowd.Crowd]int)
+				}
+				claims[o]++
+			}
+		}
+	}
 
 	// Crowds that closed during this sweep before the new last tick become
 	// interior: they are final. Crowds still ending at the last tick stay
 	// in the tail and may be extended by the next batch; their gatherings
-	// are cached for the update rule.
+	// and detectors are cached for the update rule.
 	lastTick := trajectory.Tick(s.cdb.Domain.N - 1)
 	newTailGathers := make(map[*crowd.Crowd][]*gathering.Gathering, len(res.Tail))
+	newTailDetectors := make(map[*crowd.Crowd]*gathering.Detector, len(res.Tail))
 	for _, cr := range res.Crowds {
-		gs := s.detect(cr)
+		gs, det := s.detect(cr, claims)
 		if cr.End() < lastTick {
 			s.interior = append(s.interior, cr)
 			s.interiorGathers = append(s.interiorGathers, gs)
 		} else {
 			newTailGathers[cr] = gs
+			if det != nil {
+				newTailDetectors[cr] = det
+			}
 		}
 	}
 	s.tail = res.Tail
 	s.tailGathers = newTailGathers
+	s.tailDetectors = newTailDetectors
+	s.refreshCaches()
 }
 
-// detect finds the closed gatherings of cr, using the gathering update of
-// Theorem 2 when cr extends an old candidate with cached gatherings.
-func (s *Store) detect(cr *crowd.Crowd) []*gathering.Gathering {
+// detect finds the closed gatherings of cr and the detector that now
+// covers it, using the gathering update of Theorem 2 when cr extends an
+// old candidate with cached gatherings, and the cached extendable detector
+// when one exists.
+func (s *Store) detect(cr *crowd.Crowd, claims map[*crowd.Crowd]int) ([]*gathering.Gathering, *gathering.Detector) {
 	origin := cr.Origin
 	if origin != nil && origin != cr {
 		if oldGs, ok := s.tailGathers[origin]; ok {
-			oldLen := origin.Lifetime()
-			return gathering.NewDetector(cr, s.gatherParams).RunIncremental(oldLen, oldGs)
+			det := s.tailDetectors[origin]
+			if det != nil {
+				if claims[origin] > 1 {
+					claims[origin]--
+					det = det.Clone()
+				}
+				det.Extend(cr)
+			} else {
+				det = gathering.NewDetector(cr, s.gatherParams)
+			}
+			return det.RunIncremental(origin.Lifetime(), oldGs), det
 		}
 	}
 	if origin == cr {
-		// Unextended old candidate: its gatherings are unchanged.
+		// Unextended old candidate (an empty batch): its gatherings and
+		// detector are unchanged.
 		if oldGs, ok := s.tailGathers[origin]; ok {
-			return oldGs
+			return oldGs, s.tailDetectors[origin]
 		}
 	}
-	return gathering.TADStar(cr, s.gatherParams)
+	det := gathering.NewDetector(cr, s.gatherParams)
+	return det.Run(), det
+}
+
+// refreshCaches rebuilds the memoized Crowds/Gatherings answers. The
+// interior prefix is stable — only entries added by this Append are
+// appended — and the tail suffix is recomputed.
+func (s *Store) refreshCaches() {
+	s.crowdsCache = s.crowdsCache[:s.cachedInterior]
+	s.gathersCache = s.gathersCache[:s.cachedInterior]
+	for i := s.cachedInterior; i < len(s.interior); i++ {
+		s.crowdsCache = append(s.crowdsCache, s.interior[i])
+		s.gathersCache = append(s.gathersCache, s.interiorGathers[i])
+	}
+	s.cachedInterior = len(s.interior)
+	for _, c := range s.tail {
+		if c.Lifetime() >= s.crowdParams.KC {
+			// Tail candidates are handed out detached: the next Append
+			// resumes discovery from the originals and rewrites their
+			// Origin, which must not mutate crowds a reader retained.
+			s.crowdsCache = append(s.crowdsCache, c.Detached())
+			s.gathersCache = append(s.gathersCache, s.tailGathers[c])
+		}
+	}
 }
 
 // Crowds returns the current closed crowds: the interior ones plus every
-// tail candidate long enough to be a crowd.
-func (s *Store) Crowds() []*crowd.Crowd {
-	out := append([]*crowd.Crowd(nil), s.interior...)
-	for _, c := range s.tail {
-		if c.Lifetime() >= s.crowdParams.KC {
-			out = append(out, c)
-		}
-	}
-	return out
-}
+// tail candidate long enough to be a crowd. The returned slice is shared
+// with the store and valid until the next Append; callers that retain it
+// across appends must copy it. The crowds themselves are immutable.
+func (s *Store) Crowds() []*crowd.Crowd { return s.crowdsCache }
 
 // Gatherings returns the closed gatherings of every current closed crowd,
-// in the same order as Crowds.
-func (s *Store) Gatherings() [][]*gathering.Gathering {
-	out := append([][]*gathering.Gathering(nil), s.interiorGathers...)
-	for _, c := range s.tail {
-		if c.Lifetime() >= s.crowdParams.KC {
-			out = append(out, s.tailGathers[c])
-		}
-	}
-	return out
-}
+// in the same order as Crowds. As with Crowds, the top-level slice is
+// shared and valid until the next Append (the per-crowd gathering lists
+// themselves are immutable).
+func (s *Store) Gatherings() [][]*gathering.Gathering { return s.gathersCache }
 
 // FlatGatherings returns all current closed gatherings as one slice.
 func (s *Store) FlatGatherings() []*gathering.Gathering {

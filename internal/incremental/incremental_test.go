@@ -40,7 +40,7 @@ func cdbFromRows(start trajectory.Tick, rows [][]float64) *snapshot.CDB {
 
 func signature(c *crowd.Crowd) string {
 	s := fmt.Sprintf("%d:", c.Start)
-	for _, cl := range c.Clusters {
+	for _, cl := range c.Clusters() {
 		s += fmt.Sprintf("%.1f,", cl.Points[0].Y)
 	}
 	return s

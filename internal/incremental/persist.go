@@ -73,8 +73,9 @@ func (s *Store) Save(w io.Writer) error {
 		}
 	}
 	encodeCrowd := func(cr *crowd.Crowd) (crowdDTO, error) {
-		d := crowdDTO{Start: cr.Start, Refs: make([]clusterRef, len(cr.Clusters))}
-		for i, c := range cr.Clusters {
+		cls := cr.Clusters()
+		d := crowdDTO{Start: cr.Start, Refs: make([]clusterRef, len(cls))}
+		for i, c := range cls {
 			ref, ok := refOf[c]
 			if !ok {
 				return d, fmt.Errorf("incremental: crowd references unknown cluster %v", c)
@@ -142,15 +143,15 @@ func Load(r io.Reader, newSearcher func() crowd.Searcher) (*Store, error) {
 		}
 	}
 	decodeCrowd := func(d crowdDTO) (*crowd.Crowd, error) {
-		cr := &crowd.Crowd{Start: d.Start, Clusters: make([]*snapshot.Cluster, len(d.Refs))}
+		cls := make([]*snapshot.Cluster, len(d.Refs))
 		for i, ref := range d.Refs {
 			if int(ref.Tick) >= len(s.cdb.Clusters) ||
 				int(ref.Index) >= len(s.cdb.Clusters[ref.Tick]) {
 				return nil, fmt.Errorf("incremental: dangling cluster ref %+v", ref)
 			}
-			cr.Clusters[i] = s.cdb.Clusters[ref.Tick][ref.Index]
+			cls[i] = s.cdb.Clusters[ref.Tick][ref.Index]
 		}
-		return cr, nil
+		return crowd.New(d.Start, cls), nil
 	}
 	decodeGathers := func(ds []gatherDTO, cr *crowd.Crowd) []*gathering.Gathering {
 		if ds == nil {
@@ -159,10 +160,7 @@ func Load(r io.Reader, newSearcher func() crowd.Searcher) (*Store, error) {
 		out := make([]*gathering.Gathering, len(ds))
 		for i, d := range ds {
 			out[i] = &gathering.Gathering{
-				Crowd: &crowd.Crowd{
-					Start:    cr.Start + trajectory.Tick(d.Lo),
-					Clusters: cr.Clusters[d.Lo:d.Hi],
-				},
+				Crowd:         cr.Sub(d.Lo, d.Hi),
 				Lo:            d.Lo,
 				Hi:            d.Hi,
 				Participators: d.Participators,
@@ -189,5 +187,8 @@ func Load(r io.Reader, newSearcher func() crowd.Searcher) (*Store, error) {
 			s.tailGathers[cr] = decodeGathers(dto.TailGs[i], cr)
 		}
 	}
+	// Detectors are not serialised: the next Append rebuilds one per
+	// extended crowd from scratch, after which extension resumes.
+	s.refreshCaches()
 	return s, nil
 }

@@ -93,7 +93,7 @@ func Build(crowds []*crowd.Crowd, gatherings [][]*gathering.Gathering) Report {
 	var crowdLife, clusterSize []float64
 	for _, cr := range crowds {
 		crowdLife = append(crowdLife, float64(cr.Lifetime()))
-		for _, c := range cr.Clusters {
+		for _, c := range cr.Clusters() {
 			clusterSize = append(clusterSize, float64(c.Len()))
 		}
 	}
@@ -104,11 +104,11 @@ func Build(crowds []*crowd.Crowd, gatherings [][]*gathering.Gathering) Report {
 			gatherLife = append(gatherLife, float64(g.Lifetime()))
 			pars = append(pars, float64(len(g.Participators)))
 			mean := 0.0
-			for _, c := range g.Crowd.Clusters {
+			for _, c := range g.Crowd.Clusters() {
 				mean += float64(c.Len())
 			}
-			if len(g.Crowd.Clusters) > 0 {
-				mean /= float64(len(g.Crowd.Clusters))
+			if g.Crowd.Lifetime() > 0 {
+				mean /= float64(g.Crowd.Lifetime())
 			}
 			if mean > 0 {
 				ratio = append(ratio, float64(len(g.Participators))/mean)

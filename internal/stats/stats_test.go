@@ -62,7 +62,7 @@ func TestQuantileNearestRank(t *testing.T) {
 }
 
 func mkCrowd(sizes ...int) *crowd.Crowd {
-	cr := &crowd.Crowd{Start: 0}
+	cls := make([]*snapshot.Cluster, 0, len(sizes))
 	id := trajectory.ObjectID(0)
 	for t, n := range sizes {
 		objs := make([]trajectory.ObjectID, n)
@@ -72,9 +72,9 @@ func mkCrowd(sizes ...int) *crowd.Crowd {
 			id++
 			pts[i] = geo.Point{X: float64(i), Y: 0}
 		}
-		cr.Clusters = append(cr.Clusters, snapshot.NewCluster(trajectory.Tick(t), objs, pts))
+		cls = append(cls, snapshot.NewCluster(trajectory.Tick(t), objs, pts))
 	}
-	return cr
+	return crowd.New(0, cls)
 }
 
 func TestBuildReport(t *testing.T) {
