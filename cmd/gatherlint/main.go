@@ -1,0 +1,83 @@
+// Command gatherlint is the repo's invariant checker: a multichecker
+// carrying the four analyzers that keep gathering discovery correct
+// under sharing — sharedmut, detachcheck, lockcheck and hotalloc (see
+// docs/INVARIANTS.md).
+//
+// It runs two ways:
+//
+//	go vet -vettool=$(pwd)/bin/gatherlint ./...   # unitchecker protocol
+//	gatherlint ./...                              # standalone driver
+//
+// In vettool mode go vet drives it once per package with a vet.cfg
+// describing the type-checked unit (export data of every dependency
+// included), and //gather:* annotations travel between packages as fact
+// files. Standalone mode resolves the same information itself through
+// `go list -export`. Both are built on the standard library alone: the
+// container this repo grows in has no module proxy, so the x/tools
+// unitchecker cannot be imported — its protocol is reimplemented in
+// vetcfg.go / standalone.go.
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics found.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/detachcheck"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/sharedmut"
+)
+
+// analyzers is the gatherlint suite.
+var analyzers = []*framework.Analyzer{
+	sharedmut.Analyzer,
+	detachcheck.Analyzer,
+	lockcheck.Analyzer,
+	hotalloc.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage()
+		os.Exit(1)
+	}
+	switch {
+	case strings.HasPrefix(args[0], "-V"):
+		// go vet fingerprints the tool for its action cache.
+		printVersion()
+	case args[0] == "-flags":
+		// go vet probes for tool-specific flags; gatherlint has none.
+		fmt.Println("[]")
+	case args[0] == "help" || args[0] == "-h" || args[0] == "--help":
+		usage()
+	case strings.HasSuffix(args[0], ".cfg"):
+		// Unitchecker mode: one vet.cfg per package, exit 2 on findings.
+		os.Exit(runVetCfg(args[0]))
+	default:
+		// Standalone mode over package patterns.
+		os.Exit(runStandalone(args))
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `gatherlint enforces the gathering engine's sharing, locking and
+hot-path invariants:
+
+`)
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, `
+usage:
+  gatherlint ./...                       standalone, over package patterns
+  go vet -vettool=/path/to/gatherlint ./...   as a vet tool (CI mode)
+
+Findings are suppressed line-by-line with
+  //lint:allow <analyzer> <reason why this is safe>
+`)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestVettoolCleanOverRepo builds the gatherlint binary and drives it the
+// way CI does — through go vet's -vettool protocol — over the whole
+// module, asserting the tree is clean. This covers the unitchecker
+// handshake (-V=full, -flags, per-package vet.cfg), fact propagation
+// through vetx files, and every //lint:allow waiver carrying a reason.
+func TestVettoolCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module and vets every package; skipped with -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tool := filepath.Join(t.TempDir(), "gatherlint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/gatherlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building gatherlint: %v\n%s", err, out)
+	}
+
+	var out bytes.Buffer
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	vet.Stdout = &out
+	vet.Stderr = &out
+	if err := vet.Run(); err != nil {
+		t.Errorf("go vet -vettool=gatherlint ./... failed: %v\n%s", err, out.String())
+	}
+}
+
+// TestStandaloneFindsViolations checks the go-list driver end to end: a
+// throwaway module with a sharedmut violation must produce a diagnostic
+// and exit status 2.
+func TestStandaloneFindsViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list and the typechecker; skipped with -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "gatherlint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/gatherlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building gatherlint: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module lintprobe\n\ngo 1.22\n")
+	write("imm/imm.go", `package imm
+
+//gather:immutable
+type Shared struct{ N int }
+`)
+	write("use/use.go", `package use
+
+import "lintprobe/imm"
+
+func Mutate(s *imm.Shared) { s.N = 1 }
+`)
+
+	var out bytes.Buffer
+	cmd := exec.Command(tool, "./...")
+	cmd.Dir = dir
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err = cmd.Run()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 2 {
+		t.Fatalf("gatherlint ./... : err = %v, want exit status 2\n%s", err, out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("[sharedmut]")) ||
+		!bytes.Contains(out.Bytes(), []byte("write to field N of immutable lintprobe/imm.Shared")) {
+		t.Errorf("missing sharedmut diagnostic in output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis/framework"
+)
+
+// listPackage is the subset of `go list -json` output standalone mode
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// runStandalone drives the analyzers over package patterns without go
+// vet: `go list -export -deps -json` supplies the same dependency export
+// data a vet.cfg would, and annotations are scanned straight from the
+// source of every in-module package on the import graph.
+func runStandalone(patterns []string) int {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gatherlint: go list: %v\n", err)
+		return 1
+	}
+
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			fmt.Fprintf(os.Stderr, "gatherlint: parsing go list output: %v\n", err)
+			return 1
+		}
+		pkgs = append(pkgs, &p)
+	}
+
+	fset := token.NewFileSet()
+	exportFiles := map[string]string{} // import path -> export data
+	parsed := map[string][]*ast.File{} // import path -> syntax
+	ann := framework.NewAnnotations()
+	exit := 0
+
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gatherlint: %v\n", err)
+				return 1
+			}
+			files = append(files, f)
+		}
+		parsed[p.ImportPath] = files
+		for _, f := range files {
+			ann.ScanFile(p.ImportPath, f)
+		}
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exportFile, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exportFile)
+	})
+
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || p.Module == nil || len(parsed[p.ImportPath]) == 0 {
+			continue
+		}
+		tconf := &types.Config{Importer: imp, Error: func(error) {}}
+		info := framework.NewInfo()
+		pkg, err := tconf.Check(p.ImportPath, fset, parsed[p.ImportPath], info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gatherlint: typechecking %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		diags, err := framework.RunAnalyzers(fset, parsed[p.ImportPath], pkg, info, ann, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gatherlint: %v\n", err)
+			return 1
+		}
+		if code := report(fset, diags); code > exit {
+			exit = code
+		}
+	}
+	return exit
+}

@@ -32,9 +32,14 @@
 //
 // With -oneshot the whole file is ingested, the gatherings GeoJSON is
 // written to stdout, and the process exits without serving.
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener stops, in-
+// flight queries get 15s to finish, then the engine is flushed and closed
+// so every applied batch is consistent before exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,8 +47,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	gatherings "repro"
@@ -208,10 +215,44 @@ func main() {
 		log.Printf("pprof enabled on %s/debug/pprof/", *addr)
 	}
 
-	log.Printf("serving on %s (%d shards, %q partitioner)", *addr, cfg.Shards, *partition)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		fatal(err)
+	// A configured http.Server rather than bare ListenAndServe: header and
+	// read timeouts bound what a slow or malicious client can pin per
+	// connection, and keeping the handle is what makes graceful shutdown
+	// possible at all. Write timeouts are deliberately absent — a large
+	// GeoJSON export over a slow link is legitimate.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
+
+	// On SIGINT/SIGTERM: stop accepting, drain in-flight queries, then
+	// flush and close the engine so every enqueued batch reaches its
+	// shard before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	log.Printf("serving on %s (%d shards, %q partitioner)", *addr, cfg.Shards, *partition)
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down: draining queries")
+	shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("shutting down: flushing engine")
+	eng.Flush()
+	eng.Close()
+	log.Printf("shutdown complete: %d ticks applied", eng.Ticks())
 }
 
 // serveQuery parses the filter parameters, runs one snapshot query and

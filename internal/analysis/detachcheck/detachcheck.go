@@ -1,0 +1,248 @@
+// Package detachcheck flags storing or returning an attached tail crowd
+// without first calling Detached().
+//
+// The tail crowds of an incremental discovery round stay attached to the
+// store: the next Append may rewrite their Origin in place (that is what
+// makes incremental extension O(batch)). A consumer that caches or
+// returns such a crowd sees it silently change under the next batch —
+// the PR 5 post-review bug. Sources of attached values are declared with
+// //gather:attached on the field or function that produces them;
+// Detached() is the sanitiser.
+//
+// The analysis is an intra-procedural taint pass: attachment flows from
+// annotated fields/functions through locals, indexing, slicing and range
+// loops, and is cleared by a Detached() call. A violation is an attached
+// value reaching a return statement (of a function not itself annotated
+// attached) or a store into anything longer-lived than a local —
+// a struct field, element, or package variable — unless the destination
+// field is itself annotated //gather:attached.
+package detachcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the detachcheck check.
+var Analyzer = &framework.Analyzer{
+	Name: "detachcheck",
+	Doc: "flags storing or returning a //gather:attached tail crowd without " +
+		"calling Detached() (attached crowds are rewritten in place by the " +
+		"next Append)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+		// Package-level vars initialised from attached sources.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				st := &state{pass: pass, attached: map[types.Object]bool{}}
+				for _, v := range vs.Values {
+					if st.isAttached(v) {
+						pass.Reportf(v.Pos(), "package variable initialised with an attached crowd; call Detached() first")
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// state is the per-function taint state.
+type state struct {
+	pass     *framework.Pass
+	attached map[types.Object]bool // tainted local variables
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	st := &state{pass: pass, attached: map[types.Object]bool{}}
+	fnAttached := pass.Ann.Attached[framework.FuncDeclKey(pass.Pkg.Path(), fd)]
+
+	// Propagate taint through local assignments to a fixed point, so
+	// attachment survives chains like tail := res.Tail; c := tail[i].
+	for {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := st.pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = st.pass.TypesInfo.Uses[id]
+					}
+					if obj == nil || st.attached[obj] {
+						continue
+					}
+					if i < len(s.Rhs) && len(s.Lhs) == len(s.Rhs) && st.isAttached(s.Rhs[i]) {
+						st.attached[obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				// for _, c := range res.Tail: the element inherits taint.
+				if s.Value != nil && st.isAttached(s.X) {
+					if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+						obj := st.pass.TypesInfo.Defs[id]
+						if obj == nil {
+							obj = st.pass.TypesInfo.Uses[id]
+						}
+						if obj != nil && !st.attached[obj] {
+							st.attached[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			if fnAttached {
+				return true // annotated producers may return attached values
+			}
+			for _, res := range s.Results {
+				if st.isAttached(res) {
+					st.pass.Reportf(res.Pos(), "returning an attached crowd from a function not annotated //gather:attached; call Detached() first")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if len(s.Lhs) != len(s.Rhs) || !st.isAttached(s.Rhs[i]) {
+					continue
+				}
+				st.checkStore(lhs, s.Rhs[i])
+			}
+		}
+		return true
+	})
+}
+
+// checkStore reports rhs when it stores an attached value into a
+// destination that outlives the function, unless the destination field
+// is itself annotated //gather:attached.
+func (st *state) checkStore(lhs, rhs ast.Expr) {
+	switch dst := lhs.(type) {
+	case *ast.Ident:
+		obj := st.pass.TypesInfo.Defs[dst]
+		if obj == nil {
+			obj = st.pass.TypesInfo.Uses[dst]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			st.pass.Reportf(rhs.Pos(), "storing an attached crowd in package variable %s; call Detached() first", dst.Name)
+		}
+	case *ast.SelectorExpr:
+		selInfo := st.pass.TypesInfo.Selections[dst]
+		if selInfo == nil || selInfo.Kind() != types.FieldVal {
+			return
+		}
+		key := framework.TypeKey(selInfo.Recv())
+		if key != "" && st.pass.Ann.Attached[key+"."+dst.Sel.Name] {
+			return // attached field to attached field is the store's own bookkeeping
+		}
+		st.pass.Reportf(rhs.Pos(), "storing an attached crowd in field %s; call Detached() first (the next Append rewrites attached crowds in place)", dst.Sel.Name)
+	case *ast.IndexExpr:
+		// Element store into a longer-lived container: s.cache[i] = c.
+		if inner, ok := dst.X.(*ast.SelectorExpr); ok {
+			selInfo := st.pass.TypesInfo.Selections[inner]
+			if selInfo != nil && selInfo.Kind() == types.FieldVal {
+				key := framework.TypeKey(selInfo.Recv())
+				if key != "" && st.pass.Ann.Attached[key+"."+inner.Sel.Name] {
+					return
+				}
+				st.pass.Reportf(rhs.Pos(), "storing an attached crowd in an element of field %s; call Detached() first", inner.Sel.Name)
+			}
+		}
+	}
+}
+
+// isAttached reports whether e evaluates to an attached value.
+func (st *state) isAttached(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return st.isAttached(x.X)
+	case *ast.Ident:
+		obj := st.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = st.pass.TypesInfo.Defs[x]
+		}
+		return obj != nil && st.attached[obj]
+	case *ast.SelectorExpr:
+		selInfo := st.pass.TypesInfo.Selections[x]
+		if selInfo != nil && selInfo.Kind() == types.FieldVal {
+			if key := framework.TypeKey(selInfo.Recv()); key != "" {
+				if st.pass.Ann.Attached[key+"."+x.Sel.Name] {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IndexExpr:
+		return st.isAttached(x.X)
+	case *ast.SliceExpr:
+		return st.isAttached(x.X)
+	case *ast.UnaryExpr:
+		return st.isAttached(x.X)
+	case *ast.CallExpr:
+		return st.callAttached(x)
+	}
+	return false
+}
+
+// callAttached classifies a call: Detached() sanitises, //gather:attached
+// functions produce, append propagates the taint of its arguments.
+func (st *state) callAttached(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj := st.pass.TypesInfo.Uses[fun]; obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin && fun.Name == "append" {
+				for _, arg := range call.Args {
+					if st.isAttached(arg) {
+						return true
+					}
+				}
+				return false
+			}
+			if fn, ok := obj.(*types.Func); ok {
+				return st.pass.Ann.Attached[framework.FuncKey(fn)]
+			}
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Detached" {
+			return false // the sanitiser
+		}
+		if obj := st.pass.TypesInfo.Uses[fun.Sel]; obj != nil {
+			if fn, ok := obj.(*types.Func); ok {
+				return st.pass.Ann.Attached[framework.FuncKey(fn)]
+			}
+		}
+	}
+	return false
+}

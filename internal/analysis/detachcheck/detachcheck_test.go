@@ -1,0 +1,12 @@
+package detachcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detachcheck"
+)
+
+func TestDetachcheck(t *testing.T) {
+	analysistest.Run(t, detachcheck.Analyzer, "detach")
+}

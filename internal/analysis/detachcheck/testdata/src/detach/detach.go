@@ -1,0 +1,81 @@
+// Package detach models internal/incremental's tail-crowd lifecycle: the
+// flagged lines are the PR 5 post-review shape — caching a tail crowd
+// without Detached(), so the next Append rewrites it under the caller.
+package detach
+
+//gather:immutable
+type Crowd struct{ n int }
+
+// Detached returns a crowd decoupled from the store's in-place Origin
+// rewrite; it is the sanitiser detachcheck looks for.
+func (c *Crowd) Detached() *Crowd { return &Crowd{n: c.n} }
+
+// Result mirrors crowd.Result: closed crowds are final, tail crowds stay
+// attached to the store.
+type Result struct {
+	Crowds []*Crowd
+
+	// Tail still reaches the current frontier; the next Append extends
+	// these crowds in place.
+	//gather:attached
+	Tail []*Crowd
+}
+
+// Store mirrors incremental.Store.
+type Store struct {
+	//gather:attached
+	tail []*Crowd
+
+	cache []*Crowd
+}
+
+// tailCrowds is an annotated producer: callers receive attached values.
+//
+//gather:attached
+func (s *Store) tailCrowds() []*Crowd { return s.tail }
+
+func (s *Store) refreshBad(res Result) {
+	s.tail = res.Tail // attached field to attached field: the store's own bookkeeping
+	for _, c := range res.Tail {
+		s.cache = append(s.cache, c) // want `storing an attached crowd in field cache`
+	}
+}
+
+func (s *Store) refreshGood(res Result) {
+	s.tail = res.Tail
+	for _, c := range res.Tail {
+		s.cache = append(s.cache, c.Detached())
+	}
+}
+
+func (s *Store) leak() *Crowd {
+	return s.tail[0] // want `returning an attached crowd from a function not annotated`
+}
+
+func (s *Store) leakChained(res Result) *Crowd {
+	tail := res.Tail
+	c := tail[0]
+	return c // want `returning an attached crowd from a function not annotated`
+}
+
+func (s *Store) detachedCopy() *Crowd {
+	return s.tail[0].Detached()
+}
+
+var global *Crowd
+
+func (s *Store) stash() {
+	global = s.tail[0] // want `storing an attached crowd in package variable global`
+	tmp := s.tailCrowds()
+	global = tmp[0] // want `storing an attached crowd in package variable global`
+}
+
+func (s *Store) stashElement(res Result) {
+	if len(s.cache) > 0 {
+		s.cache[0] = res.Tail[0] // want `storing an attached crowd in an element of field cache`
+	}
+}
+
+func (s *Store) waived() {
+	global = s.tail[0] //lint:allow detachcheck diagnostic snapshot discarded before the next Append
+}

@@ -1,0 +1,275 @@
+// Package hotalloc flags allocation-introducing constructs inside
+// functions annotated //gather:hotpath.
+//
+// The discovery hot paths (crowd extension, DBSCAN neighbourhoods, grid
+// probes) are kept allocation-free and pinned by testing.AllocsPerRun
+// guards. Those guards only fire for the inputs a test happens to drive;
+// this analyzer complements them by flagging the constructs that
+// introduce allocations at the source line that adds them:
+//
+//   - append to a slice declared in the function without capacity
+//     evidence (var s []T / s := []T{}) — presize with make, or reuse a
+//     scratch buffer (buf[:0])
+//   - map or slice-of-pointer composite literals and un-sized make(map)
+//   - function literals, which usually escape (an immediately-invoked
+//     literal is allowed — it is inlined)
+//   - any call into fmt (cold-path formatting belongs behind panic or
+//     off the hot path; arguments to panic are exempt)
+//
+// The checks are heuristics on declaration evidence, not escape
+// analysis: a deliberate allocation on a hot path is documented with
+// //lint:allow hotalloc <reason>.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags allocation-introducing constructs (un-presized append, map " +
+		"literals, escaping closures, fmt) in //gather:hotpath functions",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pass.Ann.Hotpath[framework.FuncDeclKey(pass.Pkg.Path(), fd)] {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	unsized := collectUnsized(pass, fd)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isPanic(pass, x) {
+				return false // cold path: panic(fmt.Sprintf(...)) is fine
+			}
+			if id, ok := calleeIdent(x); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					if fn, okf := obj.(*types.Func); okf && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+						pass.Reportf(x.Pos(), "call to fmt.%s in hot path %s allocates; move formatting off the hot path", fn.Name(), fd.Name.Name)
+					}
+					if _, okb := obj.(*types.Builtin); okb && id.Name == "append" {
+						checkAppend(pass, fd, x, unsized)
+					}
+					if _, okb := obj.(*types.Builtin); okb && id.Name == "make" {
+						checkMake(pass, fd, x)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// An immediately-invoked literal does not escape; anything else
+			// (stored, passed as callback) usually allocates a closure.
+			if !isIIFE(fd, x) {
+				pass.Reportf(x.Pos(), "function literal in hot path %s allocates a closure; hoist it or restructure", fd.Name.Name)
+			}
+			ast.Inspect(x.Body, walk)
+			return false
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.Types[x].Type
+			if t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(x.Pos(), "map literal in hot path %s allocates; hoist the map or index arrays instead", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// collectUnsized returns the local slice variables declared with no
+// capacity evidence: var s []T, s := []T{}, s := []T(nil). Parameters,
+// make()d slices and reslices of other values are capacity-evident and
+// excluded.
+func collectUnsized(pass *framework.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	unsized := map[types.Object]bool{}
+	// Named results start out nil with no capacity — the classic shape of
+	// the gathering detector's un-presized `par` result.
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil && isSliceType(obj.Type()) {
+					unsized[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil && isSliceType(obj.Type()) {
+						if len(vs.Values) == 0 || isZeroSlice(pass, vs.Values[i]) {
+							unsized[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || !isSliceType(obj.Type()) {
+					continue
+				}
+				if isZeroSlice(pass, s.Rhs[i]) {
+					unsized[obj] = true
+				} else if !isSelfAppend(s.Rhs[i], id) {
+					// Any other re-binding (make, reslice, call result)
+					// counts as capacity evidence.
+					delete(unsized, obj)
+				}
+			}
+		}
+		return true
+	})
+	return unsized
+}
+
+// checkAppend flags append whose destination is a capacity-blind local.
+func checkAppend(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr, unsized map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj != nil && unsized[obj] {
+		pass.Reportf(call.Pos(), "append to %s grows an un-presized slice in hot path %s; make([]T, 0, n) it or reuse a scratch buffer", id.Name, fd.Name.Name)
+	}
+}
+
+// checkMake flags make(map[...]...) without size and nothing else: sized
+// slice makes are exactly the presizing the append check asks for.
+func checkMake(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	t := pass.TypesInfo.Types[call.Args[0]].Type
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); isMap && len(call.Args) == 1 {
+		pass.Reportf(call.Pos(), "make(map) without a size hint in hot path %s; presize it or hoist it to reusable scratch state", fd.Name.Name)
+	}
+}
+
+func isSliceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// isZeroSlice reports expressions that declare a slice with no capacity:
+// []T{}, []T(nil), nil.
+func isZeroSlice(pass *framework.Pass, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		t := pass.TypesInfo.Types[x].Type
+		if t == nil {
+			return false
+		}
+		_, isSlice := t.Underlying().(*types.Slice)
+		return isSlice && len(x.Elts) == 0
+	case *ast.Ident:
+		return x.Name == "nil"
+	case *ast.CallExpr:
+		// []T(nil) conversion
+		if len(x.Args) == 1 {
+			if id, ok := x.Args[0].(*ast.Ident); ok && id.Name == "nil" {
+				if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isSelfAppend reports s = append(s, ...) — growth, not re-binding.
+func isSelfAppend(e ast.Expr, dst *ast.Ident) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	return ok && src.Name == dst.Name
+}
+
+// isIIFE reports whether lit is immediately invoked: func(){...}().
+func isIIFE(fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && call.Fun == lit {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isPanic reports a call to the builtin panic.
+func isPanic(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// calleeIdent extracts the identifier being called, through selectors.
+func calleeIdent(call *ast.CallExpr) (*ast.Ident, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun, true
+	case *ast.SelectorExpr:
+		return fun.Sel, true
+	}
+	return nil, false
+}

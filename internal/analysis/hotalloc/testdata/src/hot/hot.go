@@ -1,0 +1,69 @@
+// Package hot exercises hotalloc: //gather:hotpath functions must not
+// introduce avoidable allocations; everything else is out of scope.
+package hot
+
+import "fmt"
+
+type batch struct {
+	buf []int
+}
+
+//gather:hotpath
+func flagged(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to out grows an un-presized slice in hot path flagged`
+	}
+	seen := map[int]bool{}                        // want `map literal in hot path flagged`
+	m := make(map[int]int)                        // want `make\(map\) without a size hint in hot path flagged`
+	fn := func() int { return 1 }                 // want `function literal in hot path flagged allocates a closure`
+	fmt.Println(len(xs), len(seen), len(m), fn()) // want `call to fmt.Println in hot path flagged allocates`
+	return out
+}
+
+//gather:hotpath
+func namedResult(xs []int) (par []int) {
+	for _, x := range xs {
+		par = append(par, x) // want `append to par grows an un-presized slice in hot path namedResult`
+	}
+	return par
+}
+
+//gather:hotpath
+func allowed(b *batch, xs []int) []int {
+	out := make([]int, 0, len(xs)) // presized: capacity evidence
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	buf := b.buf[:0] // scratch reuse: the searcher buffer pattern
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	b.buf = buf
+	n := func() int { return 2 }() // immediately invoked: no closure escapes
+	if len(xs) > 1<<20 {
+		panic(fmt.Sprintf("batch too large: %d", len(xs))) // panic argument: cold path
+	}
+	sized := make(map[int]int, len(xs)) // sized make: fine
+	sized[n] = n
+	return out
+}
+
+//gather:hotpath
+func waived(xs []int) []int {
+	var rare []int
+	for _, x := range xs {
+		if x < 0 {
+			rare = append(rare, x) //lint:allow hotalloc negatives are validation failures, near-empty in steady state
+		}
+	}
+	return rare
+}
+
+// cold is not annotated: hotalloc ignores it entirely.
+func cold() []int {
+	var out []int
+	out = append(out, 1)
+	fmt.Println("cold")
+	return out
+}

@@ -1,0 +1,91 @@
+// Package locks models internal/engine's shard locking: per-shard
+// mutexes, a bounded ingest queue, and a condition variable. The flagged
+// lines couple a lock's critical section to channel-consumer progress.
+package locks
+
+import "sync"
+
+type Engine struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	cond  *sync.Cond
+	ready bool
+	queue chan int
+}
+
+// Append parks the caller until the ingest queue accepts the batch.
+//
+//gather:blocking
+func (e *Engine) Append(v int) { e.queue <- v }
+
+func (e *Engine) sendUnderLock() {
+	e.mu.Lock()
+	e.queue <- 1 // want `channel send while holding e.mu`
+	e.mu.Unlock()
+}
+
+func (e *Engine) sendUnderDeferredUnlock() {
+	e.rw.Lock()
+	defer e.rw.Unlock()
+	e.queue <- 2 // want `channel send while holding e.rw`
+}
+
+func (e *Engine) sendUnderRLock() {
+	e.rw.RLock()
+	defer e.rw.RUnlock()
+	e.queue <- 3 // want `channel send while holding e.rw`
+}
+
+func (e *Engine) blockingCallUnderLock(other *Engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	other.Append(1) // want `call to blocking locks.Engine.Append while holding e.mu`
+}
+
+func (e *Engine) sendInSelectUnderLock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case e.queue <- 4: // want `channel send while holding e.mu`
+	default:
+	}
+}
+
+func (e *Engine) sendAfterUnlock() {
+	e.mu.Lock()
+	v := 5
+	e.mu.Unlock()
+	e.queue <- v
+}
+
+func (e *Engine) goroutineDoesNotInherit() {
+	e.mu.Lock()
+	go func() {
+		e.queue <- 6 // the spawned goroutine holds no lock
+	}()
+	e.mu.Unlock()
+}
+
+func (e *Engine) condWaitIsExempt() {
+	e.mu.Lock()
+	for !e.ready {
+		e.cond.Wait() // releases e.mu while parked
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) branchRelease(fast bool) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+		e.queue <- 7 // this path released the lock first
+		return
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) waived() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queue <- 8 //lint:allow lockcheck a reservation taken before Lock guarantees the buffered send cannot block
+}

@@ -1,0 +1,133 @@
+// Package sharedmut flags writes to fields of types annotated
+// //gather:immutable from outside the type's owning package.
+//
+// Persistent crowds and routed snapshot.Cluster views are shared, not
+// copied: the engine hands the same *snapshot.Cluster to every shard
+// whose halo overlaps it, and crowd.Crowd nodes are prefix-shared across
+// the whole discovery history. A consumer that writes through such a view
+// corrupts every other holder — the exact bug class behind the PR 5
+// post-review fixes. The owning package keeps write access (constructors
+// sort and cache), everyone else gets a compile-time fence.
+package sharedmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the sharedmut check.
+var Analyzer = &framework.Analyzer{
+	Name: "sharedmut",
+	Doc: "flags writes to fields of //gather:immutable types outside their " +
+		"owning package (shared crowd/cluster structure must not be mutated " +
+		"by consumers)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					checkWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, stmt.X)
+			case *ast.UnaryExpr:
+				// &x.F of an immutable type: taking a writable alias to a
+				// field is mutation-by-proxy (e.g. handing it to sort.Sort).
+				if stmt.Op == token.AND {
+					checkAlias(pass, stmt)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWrite reports lhs when it writes (directly, or through element
+// indexing) into a field of an immutable type owned by another package.
+func checkWrite(pass *framework.Pass, lhs ast.Expr) {
+	// Peel element writes: c.Objects[i] = ... writes *through* the field.
+	indexed := false
+	e := lhs
+	for {
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = ix.X
+			indexed = true
+			continue
+		}
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+
+	// *c = Crowd{...}: replacing the whole shared value through a pointer.
+	if star, ok := e.(*ast.StarExpr); ok && !indexed {
+		if key, foreign := immutableKey(pass, pass.TypesInfo.Types[star.X].Type); foreign {
+			pass.Reportf(lhs.Pos(), "overwrite of shared immutable %s through a pointer; build a new value instead", key)
+		}
+		return
+	}
+
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selInfo := pass.TypesInfo.Selections[sel]
+	if selInfo == nil || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	key, foreign := immutableKey(pass, selInfo.Recv())
+	if !foreign {
+		return
+	}
+	if indexed {
+		pass.Reportf(lhs.Pos(), "write through field %s of immutable %s outside its owning package; shared structure must not be mutated", sel.Sel.Name, key)
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to field %s of immutable %s outside its owning package; shared structure must not be mutated", sel.Sel.Name, key)
+}
+
+// checkAlias reports &x.F when F belongs to a foreign immutable type.
+func checkAlias(pass *framework.Pass, ue *ast.UnaryExpr) {
+	sel, ok := ue.X.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selInfo := pass.TypesInfo.Selections[sel]
+	if selInfo == nil || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	if key, foreign := immutableKey(pass, selInfo.Recv()); foreign {
+		pass.Reportf(ue.Pos(), "taking a writable reference to field %s of immutable %s outside its owning package", sel.Sel.Name, key)
+	}
+}
+
+// immutableKey reports whether t is (a pointer to) a //gather:immutable
+// named type declared outside the package under analysis, returning its
+// annotation key.
+func immutableKey(pass *framework.Pass, t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	key := framework.TypeKey(t)
+	if key == "" || !pass.Ann.Immutable[key] {
+		return "", false
+	}
+	named, ok := framework.Deref(t).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if p := named.Obj().Pkg(); p != nil && p.Path() == pass.Pkg.Path() {
+		return "", false // the owning package keeps write access
+	}
+	return key, true
+}

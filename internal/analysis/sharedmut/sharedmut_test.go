@@ -1,0 +1,14 @@
+package sharedmut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sharedmut"
+)
+
+func TestSharedmut(t *testing.T) {
+	// immdecl is the owning package (no findings expected); immuse is the
+	// consumer where every cross-package write must be flagged.
+	analysistest.Run(t, sharedmut.Analyzer, "immdecl", "immuse")
+}

@@ -1,0 +1,28 @@
+// Package immdecl declares shared immutable structure, in the shape of
+// internal/snapshot's Cluster: routed across shards, shared by every
+// crowd that references it.
+package immdecl
+
+//gather:immutable — routed cluster views are shared across shards
+type Cluster struct {
+	T       int
+	Objects []int64
+	Points  []float64
+}
+
+// NewCluster shows the owning package keeping write access: constructors
+// sort, normalise and cache without tripping sharedmut.
+func NewCluster(t int, objs []int64, pts []float64) *Cluster {
+	c := &Cluster{}
+	c.T = t
+	c.Objects = objs
+	c.Points = pts
+	if len(c.Objects) > 1 && c.Objects[0] > c.Objects[1] {
+		c.Objects[0], c.Objects[1] = c.Objects[1], c.Objects[0]
+		c.Points[0], c.Points[1] = c.Points[1], c.Points[0]
+	}
+	return c
+}
+
+// Plain is not annotated; consumers may write it freely.
+type Plain struct{ N int }

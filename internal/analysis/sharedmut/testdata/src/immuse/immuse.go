@@ -1,0 +1,30 @@
+// Package immuse is a consumer of immdecl's shared immutable structure.
+// The flagged lines reproduce the PR 5 post-review bug class: a shard
+// writing through a routed cluster view it does not own.
+package immuse
+
+import "immdecl"
+
+func mutate(c *immdecl.Cluster) {
+	c.T = 9                // want `write to field T of immutable immdecl.Cluster`
+	c.Objects = nil        // want `write to field Objects of immutable immdecl.Cluster`
+	c.Objects[0] = 1       // want `write through field Objects of immutable immdecl.Cluster`
+	c.T++                  // want `write to field T of immutable immdecl.Cluster`
+	*c = immdecl.Cluster{} // want `overwrite of shared immutable immdecl.Cluster through a pointer`
+	_ = &c.Objects         // want `taking a writable reference to field Objects of immutable immdecl.Cluster`
+}
+
+func reads(c *immdecl.Cluster, p *immdecl.Plain) int {
+	p.N = 3 // Plain is not annotated: writes are fine
+	n := c.T + len(c.Objects)
+	if len(c.Points) > 0 {
+		n += int(c.Points[0]) // element reads are fine
+	}
+	cp := append([]int64(nil), c.Objects...) // copy-then-own is the sanctioned pattern
+	cp[0] = 42
+	return n + int(cp[0])
+}
+
+func waived(c *immdecl.Cluster) {
+	c.T = 0 //lint:allow sharedmut single-owner arena rebuilt from scratch before any reader sees it
+}

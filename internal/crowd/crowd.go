@@ -61,6 +61,8 @@ func (p Params) Validate() error {
 // either holds its full cluster run (a root built by New) or one cluster
 // plus a pointer to the shared prefix it extends. Construct one with New;
 // read it through Lifetime, End, At, Last and Clusters.
+//
+//gather:immutable — prefix-shared across every descendant candidate
 type Crowd struct {
 	Start trajectory.Tick
 
@@ -115,6 +117,8 @@ func (c *Crowd) End() trajectory.Tick {
 
 // Last returns the cluster at the final tick (nil for an empty crowd). It
 // is O(1): the sweep's inner loop reads only this.
+//
+//gather:hotpath
 func (c *Crowd) Last() *snapshot.Cluster {
 	if c.length == 0 {
 		return nil
@@ -128,6 +132,8 @@ func (c *Crowd) Last() *snapshot.Cluster {
 // At returns the cluster at position i (0 ≤ i < Lifetime). Reads through a
 // memoized materialisation are O(1); otherwise the parent chain is walked
 // from the tip, O(Lifetime − i).
+//
+//gather:hotpath
 func (c *Crowd) At(i int) *snapshot.Cluster {
 	if i < 0 || i >= c.length {
 		panic(fmt.Sprintf("crowd: position %d out of range [0,%d)", i, c.length))
@@ -173,10 +179,13 @@ type pending struct {
 	cl *snapshot.Cluster
 }
 
+//gather:hotpath
 func (c *Crowd) materialise() []*snapshot.Cluster {
 	// Walk towards the root recording each node's own cluster, stopping
-	// at the first materialised ancestor.
-	var stack []pending
+	// at the first materialised ancestor. Chains between materialisations
+	// are short (one batch of ticks), so a small presized stack absorbs
+	// the walk without growth reallocations.
+	stack := make([]pending, 0, 16)
 	n := c
 	for n.parent != nil {
 		if n.mat.Load() != nil {
@@ -285,7 +294,10 @@ type Result struct {
 	Crowds []*Crowd
 	// Tail holds every candidate alive after the final tick, of any
 	// length, including those also emitted in Crowds. It is the saved
-	// state CS for incremental crowd extension (§III-C1).
+	// state CS for incremental crowd extension (§III-C1). Tail crowds
+	// stay attached: the next DiscoverFrom resume rewrites their Origin
+	// in place, so holders that outlive the batch need Detached().
+	//gather:attached
 	Tail []*Crowd
 }
 
@@ -401,6 +413,8 @@ type BruteSearcher struct {
 func (b *BruteSearcher) Prepare(cs []*snapshot.Cluster) { b.clusters = cs }
 
 // Search implements Searcher.
+//
+//gather:hotpath
 func (b *BruteSearcher) Search(q *snapshot.Cluster) []int32 {
 	out := b.buf[:0]
 	for i, c := range b.clusters {
@@ -441,9 +455,12 @@ func (s *SRSearcher) Prepare(cs []*snapshot.Cluster) {
 }
 
 // Search implements Searcher.
+//
+//gather:hotpath
 func (s *SRSearcher) Search(q *snapshot.Cluster) []int32 {
 	out := s.buf[:0]
 	window := q.MBR().Expand(s.Delta)
+	//lint:allow hotalloc the visitor never escapes rtree.Search, so no closure is heap-allocated
 	s.tree.Search(window, func(id int32) bool {
 		s.Candidates++
 		if geo.Hausdorff(q.Points, s.clusters[id].Points) <= s.Delta {
@@ -481,8 +498,11 @@ func (s *IRSearcher) Prepare(cs []*snapshot.Cluster) {
 }
 
 // Search implements Searcher.
+//
+//gather:hotpath
 func (s *IRSearcher) Search(q *snapshot.Cluster) []int32 {
 	out := s.buf[:0]
+	//lint:allow hotalloc the visitor never escapes rtree.SearchDSide, so no closure is heap-allocated
 	s.tree.SearchDSide(q.MBR(), s.Delta, func(id int32) bool {
 		s.Candidates++
 		if geo.Hausdorff(q.Points, s.clusters[id].Points) <= s.Delta {
@@ -535,6 +555,8 @@ func (s *GridSearcher) FlushStats() {
 }
 
 // Search implements Searcher.
+//
+//gather:hotpath
 func (s *GridSearcher) Search(q *snapshot.Cluster) []int32 {
 	if s.prev != nil {
 		if qd, ok := s.prev.DecompositionOf(q); ok {

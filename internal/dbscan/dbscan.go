@@ -167,6 +167,8 @@ func floorDiv(v, s float64) int {
 
 // neighbors appends to dst the indices of all points within eps of pts[i]
 // (including i itself) and returns dst.
+//
+//gather:hotpath
 func (s *Scratch) neighbors(pts []geo.Point, eps float64, i int, dst []int32) []int32 {
 	p := pts[i]
 	k := keyOf(p, eps)

@@ -309,6 +309,8 @@ func (e *Engine) start() {
 // keeps reading the batch after Append returns (workers cluster it
 // asynchronously; with one shard it is routed without copying), so callers
 // must not mutate it.
+//
+//gather:blocking
 func (e *Engine) Append(batch *trajectory.DB) error { return e.enqueue(batch, true) }
 
 // TryAppend is Append without the blocking: it returns ErrQueueFull when
@@ -317,6 +319,7 @@ func (e *Engine) Append(batch *trajectory.DB) error { return e.enqueue(batch, tr
 // appender's batch.
 func (e *Engine) TryAppend(batch *trajectory.DB) error { return e.enqueue(batch, false) }
 
+//gather:blocking
 func (e *Engine) enqueue(batch *trajectory.DB, wait bool) error {
 	n := e.cfg.Shards
 	clusterOnce := e.clusterRoute != nil && n > 1
@@ -410,7 +413,9 @@ func (e *Engine) enqueue(batch *trajectory.DB, wait bool) error {
 		} else {
 			t.batch = subs[i]
 		}
-		e.queue <- t
+		// The phase-1 reservation guarantees n free buffered slots, so
+		// these sends cannot block even though enqMu is still held.
+		e.queue <- t //lint:allow lockcheck phase-1 reserved n buffered slots, so this send cannot block
 	}
 	e.counters.BatchesEnqueued.Add(1)
 	e.counters.TicksIngested.Add(uint64(batch.Domain.N))
@@ -600,6 +605,8 @@ func (e *Engine) Ticks() int { return int(e.ticksLow.Load()) }
 
 // Flush blocks until every batch enqueued before the call has been applied
 // to its shard, establishing a cross-shard consistent frontier.
+//
+//gather:blocking
 func (e *Engine) Flush() {
 	e.pendMu.Lock()
 	for e.pending > 0 {
@@ -612,6 +619,8 @@ func (e *Engine) Flush() {
 // It is idempotent; queries remain valid after Close. Batches still in
 // their routing phase are dropped: their reservations are waited out so
 // the queue channel never closes under a pending send.
+//
+//gather:blocking
 func (e *Engine) Close() {
 	e.enqMu.Lock()
 	if e.closed {

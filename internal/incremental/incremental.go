@@ -48,7 +48,10 @@ type Store struct {
 	interiorGathers [][]*gathering.Gathering
 
 	// candidates ending at the most recent tick (the set CS), including
-	// those long enough to currently count as closed crowds.
+	// those long enough to currently count as closed crowds. These stay
+	// attached: the next Append rewrites their Origin in place, so they
+	// must never leave the store without Detached().
+	//gather:attached
 	tail []*crowd.Crowd
 	// gatherings of tail members that are closed crowds, reused by the
 	// gathering update when the crowd is extended.
@@ -199,6 +202,8 @@ func (s *Store) refreshCaches() {
 // tail candidate long enough to be a crowd. The returned slice is shared
 // with the store and valid until the next Append; callers that retain it
 // across appends must copy it. The crowds themselves are immutable.
+//
+//gather:hotpath
 func (s *Store) Crowds() []*crowd.Crowd { return s.crowdsCache }
 
 // Gatherings returns the closed gatherings of every current closed crowd,

@@ -20,6 +20,11 @@ import (
 // object locations at a single tick. Objects and Points are parallel
 // slices; Objects is sorted ascending so membership tests are binary
 // searches and set operations are linear merges.
+//
+// Clusters are shared, not copied: every crowd that covers the tick and
+// every shard whose halo overlaps the cluster holds the same pointer.
+//
+//gather:immutable — routed across shards and referenced by crowds
 type Cluster struct {
 	T       trajectory.Tick
 	Objects []trajectory.ObjectID
@@ -168,6 +173,8 @@ type buildScratch struct {
 // clusterTick interpolates one tick's snapshot, runs DBSCAN on it and
 // materialises the resulting clusters. Everything but the clusters
 // themselves comes from — and returns to — the scratch buffers.
+//
+//gather:hotpath
 func (sc *buildScratch) clusterTick(db *trajectory.DB, t trajectory.Tick, opt Options) []*Cluster {
 	sc.snap = db.Snapshot(t, sc.snap)
 	snap := sc.snap
