@@ -1,21 +1,27 @@
 // Command gatherlint is the repo's invariant checker: a multichecker
-// carrying the four analyzers that keep gathering discovery correct
-// under sharing — sharedmut, detachcheck, lockcheck and hotalloc (see
-// docs/INVARIANTS.md).
+// carrying the six analyzers that keep gathering discovery correct
+// under sharing — sharedmut, detachcheck, lockcheck, lockorder,
+// leakcheck and hotalloc (see docs/INVARIANTS.md).
 //
 // It runs two ways:
 //
 //	go vet -vettool=$(pwd)/bin/gatherlint ./...   # unitchecker protocol
-//	gatherlint ./...                              # standalone driver
+//	gatherlint [-json] ./...                      # standalone driver
 //
 // In vettool mode go vet drives it once per package with a vet.cfg
 // describing the type-checked unit (export data of every dependency
-// included), and //gather:* annotations travel between packages as fact
-// files. Standalone mode resolves the same information itself through
-// `go list -export`. Both are built on the standard library alone: the
-// container this repo grows in has no module proxy, so the x/tools
-// unitchecker cannot be imported — its protocol is reimplemented in
-// vetcfg.go / standalone.go.
+// included), and //gather:* annotations plus per-function summary facts
+// (locks acquired, calls made while holding them, allocation sites,
+// goroutine termination, attached-crowd flow) travel between packages as
+// fact files. Standalone mode resolves the same information itself
+// through `go list -export -deps`, type-checking the whole in-module
+// import graph in dependency order. Both are built on the standard
+// library alone: the container this repo grows in has no module proxy,
+// so the x/tools unitchecker cannot be imported — its protocol is
+// reimplemented in vetcfg.go / standalone.go.
+//
+// With -json (standalone mode only) the findings and every //lint:allow
+// waiver are written to stdout as one JSON report for CI artifacts.
 //
 // Exit status: 0 clean, 1 operational error, 2 diagnostics found.
 package main
@@ -28,7 +34,9 @@ import (
 	"repro/internal/analysis/detachcheck"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/leakcheck"
 	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/sharedmut"
 )
 
@@ -37,11 +45,18 @@ var analyzers = []*framework.Analyzer{
 	sharedmut.Analyzer,
 	detachcheck.Analyzer,
 	lockcheck.Analyzer,
+	lockorder.Analyzer,
+	leakcheck.Analyzer,
 	hotalloc.Analyzer,
 }
 
 func main() {
 	args := os.Args[1:]
+	jsonOut := false
+	for len(args) > 0 && args[0] == "-json" {
+		jsonOut = true
+		args = args[1:]
+	}
 	if len(args) == 0 {
 		usage()
 		os.Exit(1)
@@ -60,7 +75,7 @@ func main() {
 		os.Exit(runVetCfg(args[0]))
 	default:
 		// Standalone mode over package patterns.
-		os.Exit(runStandalone(args))
+		os.Exit(runStandalone(args, jsonOut))
 	}
 }
 
@@ -74,8 +89,11 @@ hot-path invariants:
 	}
 	fmt.Fprintf(os.Stderr, `
 usage:
-  gatherlint ./...                       standalone, over package patterns
+  gatherlint [-json] ./...               standalone, over package patterns
   go vet -vettool=/path/to/gatherlint ./...   as a vet tool (CI mode)
+
+-json writes findings and //lint:allow waivers to stdout as a JSON
+report instead of vet-style text.
 
 Findings are suppressed line-by-line with
   //lint:allow <analyzer> <reason why this is safe>

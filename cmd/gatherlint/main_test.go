@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -94,5 +95,54 @@ func Mutate(s *imm.Shared) { s.N = 1 }
 	if !bytes.Contains(out.Bytes(), []byte("[sharedmut]")) ||
 		!bytes.Contains(out.Bytes(), []byte("write to field N of immutable lintprobe/imm.Shared")) {
 		t.Errorf("missing sharedmut diagnostic in output:\n%s", out.String())
+	}
+
+	// -json mode over the same module: the finding becomes a structured
+	// record on stdout, and the waived lock edge shows up under waivers
+	// with its reason.
+	write("use/waived.go", `package use
+
+import "sync"
+
+var mu sync.Mutex
+var ch = make(chan int, 1)
+
+func send() {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1 //lint:allow lockcheck buffered probe channel, the send cannot block
+}
+`)
+	var jout, jerr bytes.Buffer
+	jcmd := exec.Command(tool, "-json", "./...")
+	jcmd.Dir = dir
+	jcmd.Stdout = &jout
+	jcmd.Stderr = &jerr
+	err = jcmd.Run()
+	exit, ok = err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 2 {
+		t.Fatalf("gatherlint -json ./... : err = %v, want exit status 2\n%s%s", err, jout.String(), jerr.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(jout.Bytes(), &rep); err != nil {
+		t.Fatalf("parsing -json output: %v\n%s", err, jout.String())
+	}
+	foundDiag := false
+	for _, d := range rep.Diagnostics {
+		if d.Analyzer == "sharedmut" && d.Line == 5 && filepath.Base(d.File) == "use.go" {
+			foundDiag = true
+		}
+	}
+	if !foundDiag {
+		t.Errorf("missing sharedmut record in JSON report: %+v", rep.Diagnostics)
+	}
+	foundWaiver := false
+	for _, w := range rep.Waivers {
+		if w.Analyzer == "lockcheck" && w.Reason == "buffered probe channel, the send cannot block" {
+			foundWaiver = true
+		}
+	}
+	if !foundWaiver {
+		t.Errorf("missing lockcheck waiver record in JSON report: %+v", rep.Waivers)
 	}
 }

@@ -26,16 +26,44 @@ type listPackage struct {
 	Name       string
 	GoFiles    []string
 	Export     string
+	Deps       []string
 	DepOnly    bool
 	Standard   bool
 	Module     *struct{ Path string }
 }
 
+// jsonDiagnostic is one finding in `gatherlint -json` output.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonWaiver is one //lint:allow comment in `gatherlint -json` output; a
+// missing reason is itself a finding, so the report carries both sides.
+type jsonWaiver struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// jsonReport is the machine-readable report `gatherlint -json` writes to
+// stdout (CI uploads it as an artifact).
+type jsonReport struct {
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Waivers     []jsonWaiver     `json:"waivers"`
+}
+
 // runStandalone drives the analyzers over package patterns without go
 // vet: `go list -export -deps -json` supplies the same dependency export
-// data a vet.cfg would, and annotations are scanned straight from the
-// source of every in-module package on the import graph.
-func runStandalone(patterns []string) int {
+// data a vet.cfg would. Every in-module package on the import graph is
+// type-checked in dependency order so its function summaries and
+// //gather:* annotations flow to dependents exactly as vettool fact
+// files would carry them.
+func runStandalone(patterns []string, jsonOut bool) int {
 	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	var out bytes.Buffer
@@ -61,10 +89,10 @@ func runStandalone(patterns []string) int {
 	}
 
 	fset := token.NewFileSet()
-	exportFiles := map[string]string{} // import path -> export data
-	parsed := map[string][]*ast.File{} // import path -> syntax
-	ann := framework.NewAnnotations()
-	exit := 0
+	exportFiles := map[string]string{}                       // import path -> export data
+	parsed := map[string][]*ast.File{}                       // import path -> syntax
+	annOf := map[string]*framework.Annotations{}             // own annotations only
+	sumsOf := map[string]map[string]*framework.FuncSummary{} // own summaries only
 
 	for _, p := range pkgs {
 		if p.Export != "" {
@@ -83,9 +111,11 @@ func runStandalone(patterns []string) int {
 			files = append(files, f)
 		}
 		parsed[p.ImportPath] = files
+		own := framework.NewAnnotations()
 		for _, f := range files {
-			ann.ScanFile(p.ImportPath, f)
+			own.ScanFile(p.ImportPath, f)
 		}
+		annOf[p.ImportPath] = own
 	}
 
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -96,24 +126,96 @@ func runStandalone(patterns []string) int {
 		return os.Open(exportFile)
 	})
 
+	var rep jsonReport
+	exit := 0
+
+	// go list -deps prints dependencies before dependents, so by the time
+	// a package is type-checked every in-module dep already has summaries.
 	for _, p := range pkgs {
-		if p.DepOnly || p.Standard || p.Module == nil || len(parsed[p.ImportPath]) == 0 {
+		files := parsed[p.ImportPath]
+		if p.Standard || p.Module == nil || len(files) == 0 {
 			continue
 		}
+
+		// The package's fact view: its own annotations plus its transitive
+		// deps' (Deps is already transitive, so one level of union folds
+		// the whole closure), and likewise for function summaries.
+		ann := framework.NewAnnotations()
+		ann.Merge(annOf[p.ImportPath])
+		depSums := map[string]*framework.FuncSummary{}
+		for _, dep := range p.Deps {
+			if a := annOf[dep]; a != nil {
+				ann.Merge(a)
+			}
+			framework.MergeSummaries(depSums, sumsOf[dep])
+		}
+
 		tconf := &types.Config{Importer: imp, Error: func(error) {}}
 		info := framework.NewInfo()
-		pkg, err := tconf.Check(p.ImportPath, fset, parsed[p.ImportPath], info)
+		pkg, err := tconf.Check(p.ImportPath, fset, files, info)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gatherlint: typechecking %s: %v\n", p.ImportPath, err)
 			return 1
 		}
-		diags, err := framework.RunAnalyzers(fset, parsed[p.ImportPath], pkg, info, ann, analyzers)
+		own := framework.ComputeSummaries(fset, files, pkg, info, ann, depSums)
+		sumsOf[p.ImportPath] = own
+
+		if p.DepOnly {
+			continue // facts computed for dependents; not an analysis target
+		}
+
+		sums := map[string]*framework.FuncSummary{}
+		for k, s := range own {
+			sums[k] = s
+		}
+		framework.MergeSummaries(sums, depSums)
+		diags, err := framework.RunAnalyzers(fset, files, pkg, info, ann, sums, analyzers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gatherlint: %v\n", err)
 			return 1
 		}
+		if jsonOut {
+			for _, d := range diags {
+				pos := fset.Position(d.Pos)
+				rep.Diagnostics = append(rep.Diagnostics, jsonDiagnostic{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+			}
+			for _, w := range framework.ScanSuppressions(fset, files).List() {
+				pos := fset.Position(w.Pos)
+				rep.Waivers = append(rep.Waivers, jsonWaiver{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Analyzer: w.Analyzer,
+					Reason:   w.Reason,
+				})
+			}
+			if len(diags) > 0 && exit < 2 {
+				exit = 2
+			}
+			continue
+		}
 		if code := report(fset, diags); code > exit {
 			exit = code
+		}
+	}
+
+	if jsonOut {
+		if rep.Diagnostics == nil {
+			rep.Diagnostics = []jsonDiagnostic{}
+		}
+		if rep.Waivers == nil {
+			rep.Waivers = []jsonWaiver{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "gatherlint: encoding report: %v\n", err)
+			return 1
 		}
 	}
 	return exit

@@ -88,40 +88,58 @@ func runVetCfg(cfgPath string) int {
 
 	// Facts in: this package sees its own //gather:* annotations plus the
 	// union of its dependencies' (each dep's fact file already folds in
-	// that dep's own dependencies, so no graph walk is needed).
+	// that dep's own dependencies, so no graph walk is needed). Function
+	// summaries ride in the same fact files.
 	ann := framework.NewAnnotations()
 	for _, f := range files {
 		ann.ScanFile(pkgPath, f)
 	}
+	depSums := map[string]*framework.FuncSummary{}
 	for dep, vetx := range cfg.PackageVetx {
 		data, err := os.ReadFile(vetx)
 		if err != nil {
 			continue // deps analysed by other tools may have no facts
 		}
-		depAnn, err := framework.DecodeFacts(data)
+		depAnn, ds, err := framework.DecodeFacts(data)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gatherlint: facts of %s: %v\n", dep, err)
 			return 1
 		}
 		ann.Merge(depAnn)
+		framework.MergeSummaries(depSums, ds)
 	}
 
-	// Facts out: always write the vetx file, even for VetxOnly units —
-	// go vet treats a missing output as a tool failure.
-	if cfg.VetxOutput != "" {
-		facts, err := framework.EncodeFacts(ann)
+	writeFacts := func(sums map[string]*framework.FuncSummary) bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		// A package's exported facts fold its dependencies', preserving
+		// the no-graph-walk invariant for dependents.
+		framework.MergeSummaries(sums, depSums)
+		facts, err := framework.EncodeFacts(ann, sums)
 		if err == nil {
 			err = os.WriteFile(cfg.VetxOutput, facts, 0o666)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gatherlint: writing facts: %v\n", err)
+			return false
+		}
+		return true
+	}
+
+	// Out-of-module units (the standard library, in this container) carry
+	// no //gather:lock or hotpath roots and their summaries would dominate
+	// every fact file; their annotations (none today) still flow,
+	// summaries do not. go vet only sets ModulePath for module units.
+	if cfg.Standard[pkgPath] || cfg.ModulePath == "" {
+		if !writeFacts(map[string]*framework.FuncSummary{}) {
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
 	}
 
+	// Summaries need types, so unlike the lexical-only tool this
+	// type-checks even VetxOnly units before writing their facts.
 	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
 		if mapped, ok := cfg.ImportMap[path]; ok {
 			path = mapped
@@ -141,13 +159,31 @@ func runVetCfg(cfgPath string) int {
 	pkg, err := tconf.Check(pkgPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeFacts(map[string]*framework.FuncSummary{})
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "gatherlint: typechecking %s: %v\n", pkgPath, err)
 		return 1
 	}
 
-	diags, err := framework.RunAnalyzers(fset, files, pkg, info, ann, analyzers)
+	ownSums := framework.ComputeSummaries(fset, files, pkg, info, ann, depSums)
+	exported := map[string]*framework.FuncSummary{}
+	for k, s := range ownSums {
+		exported[k] = s
+	}
+	if !writeFacts(exported) {
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	sums := map[string]*framework.FuncSummary{}
+	for k, s := range ownSums {
+		sums[k] = s
+	}
+	framework.MergeSummaries(sums, depSums)
+	diags, err := framework.RunAnalyzers(fset, files, pkg, info, ann, sums, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gatherlint: %v\n", err)
 		return 1

@@ -10,10 +10,19 @@
 //
 // comment (several regexps may follow one want). The runner type-checks
 // the fixture with the standard library resolved from source (offline),
-// scans //gather:* annotations across every fixture package loaded, runs
-// the analyzer, applies //lint:allow suppressions, and then requires an
-// exact match between diagnostics and want expectations: every want must
-// match a diagnostic on its line and every diagnostic must be wanted.
+// runs the analyzer, applies //lint:allow suppressions, and then requires
+// an exact match between diagnostics and want expectations: every want
+// must match a diagnostic on its line and every diagnostic must be
+// wanted.
+//
+// Fact propagation between fixture packages mirrors the vettool protocol
+// exactly: each package's //gather:* annotations and function summaries
+// are computed after type-checking, folded with its dependencies' facts,
+// and round-tripped through framework.EncodeFacts/DecodeFacts before a
+// dependent package sees them. A fixture package therefore observes its
+// dependencies only through serialised facts — the same visibility an
+// analyzer has under go vet — which is what lets the lockorder fixture
+// seed half a lock cycle in one package and catch it from another.
 package analysistest
 
 import (
@@ -38,14 +47,22 @@ import (
 // want expectations.
 func Run(t *testing.T, analyzer *framework.Analyzer, pkgs ...string) {
 	t.Helper()
-	ld := newLoader(t, filepath.Join("testdata", "src"))
+	ld := newLoader(filepath.Join("testdata", "src"))
 	for _, pkg := range pkgs {
 		pkg := pkg
 		t.Run(pkg, func(t *testing.T) {
 			t.Helper()
-			target := ld.load(t, pkg)
+			target, err := ld.load(pkg)
+			if err != nil {
+				t.Fatalf("loading fixture %q: %v", pkg, err)
+			}
+			sums := map[string]*framework.FuncSummary{}
+			for k, s := range target.sums {
+				sums[k] = s
+			}
+			framework.MergeSummaries(sums, target.depSums)
 			diags, err := framework.RunAnalyzers(ld.fset, target.files, target.pkg,
-				target.info, ld.ann, []*framework.Analyzer{analyzer})
+				target.info, target.ann, sums, []*framework.Analyzer{analyzer})
 			if err != nil {
 				t.Fatalf("running %s on %s: %v", analyzer.Name, pkg, err)
 			}
@@ -61,82 +78,38 @@ type loader struct {
 	root string
 	pkgs map[string]*loadedPkg
 	std  types.Importer
-	ann  *framework.Annotations
 }
 
 type loadedPkg struct {
 	pkg   *types.Package
 	files []*ast.File
 	info  *types.Info
+	// ann is the package's view of the //gather:* annotations: its own
+	// plus its dependencies', the latter through a fact round-trip.
+	ann *framework.Annotations
+	// sums are the package's own summaries (real token positions);
+	// depSums the fact-decoded summaries of its transitive fixture deps.
+	sums    map[string]*framework.FuncSummary
+	depSums map[string]*framework.FuncSummary
+	// facts is what a dependent package imports: the serialised union of
+	// this package's annotations and summaries with its dependencies'.
+	facts []byte
 }
 
-func newLoader(t *testing.T, root string) *loader {
+func newLoader(root string) *loader {
 	fset := token.NewFileSet()
 	return &loader{
 		fset: fset,
 		root: root,
 		pkgs: map[string]*loadedPkg{},
 		std:  importer.ForCompiler(fset, "source", nil),
-		ann:  framework.NewAnnotations(),
 	}
 }
 
-func (ld *loader) load(t *testing.T, path string) *loadedPkg {
-	t.Helper()
+func (ld *loader) load(path string) (*loadedPkg, error) {
 	if p, ok := ld.pkgs[path]; ok {
-		return p
+		return p, nil
 	}
-	dir := filepath.Join(ld.root, filepath.FromSlash(path))
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("fixture package %q: %v", path, err)
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("parsing fixture %s: %v", e.Name(), err)
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		t.Fatalf("fixture package %q: no Go files in %s", path, dir)
-	}
-	for _, f := range files {
-		ld.ann.ScanFile(path, f)
-	}
-	info := framework.NewInfo()
-	conf := &types.Config{Importer: (*fixtureImporter)(ld)}
-	pkg, err := conf.Check(path, ld.fset, files, info)
-	if err != nil {
-		t.Fatalf("type-checking fixture %q: %v", path, err)
-	}
-	p := &loadedPkg{pkg: pkg, files: files, info: info}
-	ld.pkgs[path] = p
-	return p
-}
-
-// fixtureImporter resolves imports for fixture packages: sibling fixture
-// directories first, then the source-compiled standard library.
-type fixtureImporter loader
-
-func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
-	ld := (*loader)(fi)
-	if p, ok := ld.pkgs[path]; ok {
-		return p.pkg, nil
-	}
-	if st, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
-		// Load the sibling fixture with a throwaway testing.T proxy:
-		// failures surface as import errors.
-		return ld.loadForImport(path)
-	}
-	return ld.std.Import(path)
-}
-
-func (ld *loader) loadForImport(path string) (*types.Package, error) {
 	dir := filepath.Join(ld.root, filepath.FromSlash(path))
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -153,17 +126,75 @@ func (ld *loader) loadForImport(path string) (*types.Package, error) {
 		}
 		files = append(files, f)
 	}
-	for _, f := range files {
-		ld.ann.ScanFile(path, f)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
 	}
 	info := framework.NewInfo()
 	conf := &types.Config{Importer: (*fixtureImporter)(ld)}
+	// Type-checking pulls fixture dependencies through the importer, so
+	// after Check returns every dependency has its facts computed.
 	pkg, err := conf.Check(path, ld.fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("type-checking fixture dependency %q: %w", path, err)
+		return nil, fmt.Errorf("type-checking fixture %q: %w", path, err)
 	}
-	ld.pkgs[path] = &loadedPkg{pkg: pkg, files: files, info: info}
-	return pkg, nil
+
+	// The package's fact view: its own annotations plus each direct
+	// dependency's exported facts (which already fold that dependency's
+	// own deps — same invariant as the vetx files).
+	ann := framework.NewAnnotations()
+	for _, f := range files {
+		ann.ScanFile(path, f)
+	}
+	depSums := map[string]*framework.FuncSummary{}
+	for _, imp := range pkg.Imports() {
+		dep, ok := ld.pkgs[imp.Path()]
+		if !ok {
+			continue // standard library: no facts
+		}
+		depAnn, ds, err := framework.DecodeFacts(dep.facts)
+		if err != nil {
+			return nil, fmt.Errorf("decoding facts of %q: %w", imp.Path(), err)
+		}
+		ann.Merge(depAnn)
+		framework.MergeSummaries(depSums, ds)
+	}
+	sums := framework.ComputeSummaries(ld.fset, files, pkg, info, ann, depSums)
+
+	exported := map[string]*framework.FuncSummary{}
+	for k, s := range sums {
+		exported[k] = s
+	}
+	framework.MergeSummaries(exported, depSums)
+	facts, err := framework.EncodeFacts(ann, exported)
+	if err != nil {
+		return nil, fmt.Errorf("encoding facts of %q: %w", path, err)
+	}
+
+	p := &loadedPkg{
+		pkg: pkg, files: files, info: info,
+		ann: ann, sums: sums, depSums: depSums, facts: facts,
+	}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+// fixtureImporter resolves imports for fixture packages: sibling fixture
+// directories first, then the source-compiled standard library.
+type fixtureImporter loader
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(fi)
+	if p, ok := ld.pkgs[path]; ok {
+		return p.pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return ld.std.Import(path)
 }
 
 // want is one expectation: a regexp that must match a diagnostic message

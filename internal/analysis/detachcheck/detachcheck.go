@@ -9,13 +9,21 @@
 // //gather:attached on the field or function that produces them;
 // Detached() is the sanitiser.
 //
-// The analysis is an intra-procedural taint pass: attachment flows from
-// annotated fields/functions through locals, indexing, slicing and range
-// loops, and is cleared by a Detached() call. A violation is an attached
-// value reaching a return statement (of a function not itself annotated
+// The analysis is a taint pass: attachment flows from annotated
+// fields/functions through locals, indexing, slicing and range loops,
+// and is cleared by a Detached() call. A violation is an attached value
+// reaching a return statement (of a function not itself annotated
 // attached) or a store into anything longer-lived than a local —
 // a struct field, element, or package variable — unless the destination
 // field is itself annotated //gather:attached.
+//
+// Attachment also flows through calls, using the function summaries the
+// framework propagates as facts: a call to a function whose summary says
+// ReturnsAttached taints its result, ParamToReturn carries an attached
+// argument's taint through to the result, and passing an attached value
+// to a parameter the callee's summary marks as sunk (stored beyond the
+// call, ParamSinks) is reported at the call site — the callee will hold
+// the crowd after the next Append rewrites it.
 package detachcheck
 
 import (
@@ -140,9 +148,39 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 				}
 				st.checkStore(lhs, s.Rhs[i])
 			}
+		case *ast.CallExpr:
+			st.checkSinkArgs(s)
 		}
 		return true
 	})
+}
+
+// checkSinkArgs reports attached arguments passed to a parameter the
+// callee's summary proves is stored beyond the call.
+func (st *state) checkSinkArgs(call *ast.CallExpr) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	fn, ok := st.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	s := st.pass.Sums[framework.FuncKey(fn)]
+	if s == nil {
+		return
+	}
+	for _, pi := range s.ParamSinks {
+		if pi < len(call.Args) && st.isAttached(call.Args[pi]) {
+			st.pass.Reportf(call.Args[pi].Pos(),
+				"passing an attached crowd to %s, which stores it beyond the call; call Detached() first", fn.Name())
+		}
+	}
 }
 
 // checkStore reports rhs when it stores an attached value into a
@@ -217,7 +255,10 @@ func (st *state) isAttached(e ast.Expr) bool {
 }
 
 // callAttached classifies a call: Detached() sanitises, //gather:attached
-// functions produce, append propagates the taint of its arguments.
+// functions produce, append propagates the taint of its arguments, and
+// unannotated callees are judged through their summary facts (a result
+// derived from an attached source, or a pass-through of an attached
+// argument, stays attached).
 func (st *state) callAttached(call *ast.CallExpr) bool {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
@@ -231,7 +272,7 @@ func (st *state) callAttached(call *ast.CallExpr) bool {
 				return false
 			}
 			if fn, ok := obj.(*types.Func); ok {
-				return st.pass.Ann.Attached[framework.FuncKey(fn)]
+				return st.resultAttached(call, fn)
 			}
 		}
 	case *ast.SelectorExpr:
@@ -240,8 +281,30 @@ func (st *state) callAttached(call *ast.CallExpr) bool {
 		}
 		if obj := st.pass.TypesInfo.Uses[fun.Sel]; obj != nil {
 			if fn, ok := obj.(*types.Func); ok {
-				return st.pass.Ann.Attached[framework.FuncKey(fn)]
+				return st.resultAttached(call, fn)
 			}
+		}
+	}
+	return false
+}
+
+// resultAttached judges a resolved call through the annotation first,
+// then the callee's summary fact.
+func (st *state) resultAttached(call *ast.CallExpr, fn *types.Func) bool {
+	key := framework.FuncKey(fn)
+	if st.pass.Ann.Attached[key] {
+		return true
+	}
+	s := st.pass.Sums[key]
+	if s == nil {
+		return false
+	}
+	if s.ReturnsAttached {
+		return true
+	}
+	for _, pi := range s.ParamToReturn {
+		if pi < len(call.Args) && st.isAttached(call.Args[pi]) {
+			return true
 		}
 	}
 	return false

@@ -79,3 +79,26 @@ func (s *Store) stashElement(res Result) {
 func (s *Store) waived() {
 	global = s.tail[0] //lint:allow detachcheck diagnostic snapshot discarded before the next Append
 }
+
+// passthrough forwards its argument unchanged; the summary carries an
+// attached argument's taint through to the result.
+func passthrough(cs []*Crowd) []*Crowd { return cs }
+
+func (s *Store) leakViaHelper() *Crowd {
+	cs := passthrough(s.tail)
+	return cs[0] // want `returning an attached crowd from a function not annotated`
+}
+
+// hold sinks its parameter into the cache — its summary marks parameter
+// 0 as stored beyond the call.
+func (s *Store) hold(c *Crowd) {
+	s.cache = append(s.cache, c)
+}
+
+func (s *Store) sinkViaHelper() {
+	s.hold(s.tail[0]) // want `passing an attached crowd to hold, which stores it beyond the call`
+}
+
+func (s *Store) sinkDetachedOK() {
+	s.hold(s.tail[0].Detached())
+}

@@ -56,6 +56,12 @@ type Pass struct {
 	// Ann holds the //gather:* annotations visible to this package: its
 	// own plus those imported as facts from its dependencies.
 	Ann *Annotations
+	// Sums holds the per-function summaries visible to this package — its
+	// own (computed from the typed AST, with source positions) plus its
+	// dependencies' (decoded from facts, positions as file:line strings).
+	// Keyed like function annotations: "<pkgpath>.<Func>" or
+	// "<pkgpath>.<Type>.<Method>".
+	Sums map[string]*FuncSummary
 
 	diags *[]Diagnostic
 }
@@ -98,6 +104,10 @@ type Annotations struct {
 	// Hotpath marks functions that must not introduce avoidable
 	// allocations (enforced by hotalloc).
 	Hotpath map[string]bool
+	// Locks names mutex fields for lock-order analysis: the key is the
+	// field path "<pkgpath>.<Type>.<Field>", the value the canonical lock
+	// name declared with //gather:lock <name> (consumed by lockorder).
+	Locks map[string]string
 }
 
 // NewAnnotations returns an empty annotation set.
@@ -107,6 +117,7 @@ func NewAnnotations() *Annotations {
 		Attached:  map[string]bool{},
 		Blocking:  map[string]bool{},
 		Hotpath:   map[string]bool{},
+		Locks:     map[string]string{},
 	}
 }
 
@@ -127,12 +138,15 @@ func (a *Annotations) Merge(other *Annotations) {
 	for k := range other.Hotpath {
 		a.Hotpath[k] = true
 	}
+	for k, v := range other.Locks {
+		a.Locks[k] = v
+	}
 }
 
 // Empty reports whether a carries no annotations.
 func (a *Annotations) Empty() bool {
 	return len(a.Immutable) == 0 && len(a.Attached) == 0 &&
-		len(a.Blocking) == 0 && len(a.Hotpath) == 0
+		len(a.Blocking) == 0 && len(a.Hotpath) == 0 && len(a.Locks) == 0
 }
 
 // The annotation directives. Like //go:build directives they must start
@@ -142,6 +156,7 @@ const (
 	dirAttached  = "//gather:attached"
 	dirBlocking  = "//gather:blocking"
 	dirHotpath   = "//gather:hotpath"
+	dirLock      = "//gather:lock"
 )
 
 // hasDirective reports whether the comment group contains the directive
@@ -158,6 +173,26 @@ func hasDirective(cg *ast.CommentGroup, dir string) bool {
 		}
 	}
 	return false
+}
+
+// directiveArg returns the first word following the directive in the
+// comment group ("//gather:lock enq — serialises admission" yields
+// "enq"), or "" when the directive is absent or bare.
+func directiveArg(cg *ast.CommentGroup, dir string) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, dir)
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) > 0 {
+			return fields[0]
+		}
+	}
+	return ""
 }
 
 // ScanFile collects the //gather:* annotations declared in file into a.
@@ -185,11 +220,19 @@ func (a *Annotations) ScanFile(pkgpath string, file *ast.File) {
 					continue
 				}
 				for _, f := range st.Fields.List {
-					if !hasDirective(f.Doc, dirAttached) && !hasDirective(f.Comment, dirAttached) {
-						continue
+					if hasDirective(f.Doc, dirAttached) || hasDirective(f.Comment, dirAttached) {
+						for _, name := range f.Names {
+							a.Attached[typeKey+"."+name.Name] = true
+						}
 					}
-					for _, name := range f.Names {
-						a.Attached[typeKey+"."+name.Name] = true
+					lockName := directiveArg(f.Doc, dirLock)
+					if lockName == "" {
+						lockName = directiveArg(f.Comment, dirLock)
+					}
+					if lockName != "" {
+						for _, name := range f.Names {
+							a.Locks[typeKey+"."+name.Name] = lockName
+						}
 					}
 				}
 			}
@@ -273,40 +316,52 @@ func Deref(t types.Type) types.Type {
 	return t
 }
 
-// Facts is the serialised form of Annotations — the payload of the vetx
-// fact files exchanged through the go vet -vettool protocol. A package's
-// facts are the union of its own annotations and its dependencies', so
+// Facts is the serialised form of a package's analysis facts — the
+// payload of the vetx fact files exchanged through the go vet -vettool
+// protocol: the //gather:* annotations plus the per-function summaries.
+// A package's facts are the union of its own and its dependencies', so
 // transitivity needs no graph walk at load time.
 type Facts struct {
-	Immutable []string `json:"immutable,omitempty"`
-	Attached  []string `json:"attached,omitempty"`
-	Blocking  []string `json:"blocking,omitempty"`
-	Hotpath   []string `json:"hotpath,omitempty"`
+	Immutable []string          `json:"immutable,omitempty"`
+	Attached  []string          `json:"attached,omitempty"`
+	Blocking  []string          `json:"blocking,omitempty"`
+	Hotpath   []string          `json:"hotpath,omitempty"`
+	Locks     map[string]string `json:"locks,omitempty"`
+	// Summaries carries one FuncSummary per function, keyed like
+	// function annotations. Waived allocation sites are dropped before
+	// encoding: a dependency's waiver must silence dependent reports too.
+	Summaries map[string]*FuncSummary `json:"summaries,omitempty"`
 }
 
-// EncodeFacts serialises a deterministically (sorted keys).
-func EncodeFacts(a *Annotations) ([]byte, error) {
+// EncodeFacts serialises the annotations and summaries deterministically
+// (sorted keys; encoding/json sorts map keys).
+func EncodeFacts(a *Annotations, sums map[string]*FuncSummary) ([]byte, error) {
 	f := Facts{
 		Immutable: sortedKeys(a.Immutable),
 		Attached:  sortedKeys(a.Attached),
 		Blocking:  sortedKeys(a.Blocking),
 		Hotpath:   sortedKeys(a.Hotpath),
+		Summaries: exportSummaries(sums),
+	}
+	if len(a.Locks) > 0 {
+		f.Locks = a.Locks
 	}
 	return json.Marshal(f)
 }
 
-// DecodeFacts parses fact bytes into an annotation set. Empty input (the
-// fact file of a package analysed before this tool versioned its facts,
-// or of a standard-library package) decodes to no annotations; malformed
-// input is an error.
-func DecodeFacts(data []byte) (*Annotations, error) {
+// DecodeFacts parses fact bytes into an annotation set and summary map.
+// Empty input (the fact file of a package analysed before this tool
+// versioned its facts, or of a standard-library package) decodes to no
+// facts; malformed input is an error.
+func DecodeFacts(data []byte) (*Annotations, map[string]*FuncSummary, error) {
 	a := NewAnnotations()
+	sums := map[string]*FuncSummary{}
 	if len(data) == 0 {
-		return a, nil
+		return a, sums, nil
 	}
 	var f Facts
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, k := range f.Immutable {
 		a.Immutable[k] = true
@@ -320,7 +375,27 @@ func DecodeFacts(data []byte) (*Annotations, error) {
 	for _, k := range f.Hotpath {
 		a.Hotpath[k] = true
 	}
-	return a, nil
+	for k, v := range f.Locks {
+		a.Locks[k] = v
+	}
+	for k, s := range f.Summaries {
+		if s != nil {
+			s.Key = k
+			sums[k] = s
+		}
+	}
+	return a, sums, nil
+}
+
+// MergeSummaries folds src into dst, keeping existing entries (a
+// package's own summaries, which carry real token positions, win over
+// fact-decoded ones).
+func MergeSummaries(dst, src map[string]*FuncSummary) {
+	for k, s := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = s
+		}
+	}
 }
 
 func sortedKeys(m map[string]bool) []string {
@@ -446,6 +521,28 @@ func (s *Suppressions) Apply(diags []Diagnostic) []Diagnostic {
 	return kept
 }
 
+// A Waiver is one //lint:allow comment, exported for report generation
+// (the -json diagnostics mode lists every waiver with its reason).
+type Waiver struct {
+	Pos      token.Pos
+	Analyzer string
+	Reason   string
+}
+
+// List returns every scanned waiver sorted by position.
+func (s *Suppressions) List() []Waiver {
+	var out []Waiver
+	for _, lines := range s.byLoc {
+		for _, sups := range lines {
+			for _, sup := range sups {
+				out = append(out, Waiver{Pos: sup.pos, Analyzer: sup.analyzer, Reason: sup.reason})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
 func (s *Suppressions) matches(file string, line int, analyzer string) bool {
 	lines, ok := s.byLoc[file]
 	if !ok {
@@ -466,10 +563,15 @@ func (s *Suppressions) matches(file string, line int, analyzer string) bool {
 
 // RunAnalyzers applies the analyzers to one type-checked package, filters
 // the findings through the package's //lint:allow waivers, and returns
-// them sorted by position.
+// them sorted by position. sums carries the function summaries visible to
+// the package (its own plus fact-imported ones); nil means none.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package,
-	info *types.Info, ann *Annotations, analyzers []*Analyzer) ([]Diagnostic, error) {
+	info *types.Info, ann *Annotations, sums map[string]*FuncSummary,
+	analyzers []*Analyzer) ([]Diagnostic, error) {
 
+	if sums == nil {
+		sums = map[string]*FuncSummary{}
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -479,6 +581,7 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 			Pkg:       pkg,
 			TypesInfo: info,
 			Ann:       ann,
+			Sums:      sums,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {

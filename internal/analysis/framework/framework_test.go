@@ -22,6 +22,10 @@ type Result struct {
 	// Tail stays attached.
 	//gather:attached
 	Tail []int
+
+	// mu serialises everything below.
+	//gather:lock result — canonical name for lock-order analysis
+	mu struct{}
 }
 
 // Append parks the caller.
@@ -83,15 +87,19 @@ func TestScanFile(t *testing.T) {
 	if !reflect.DeepEqual(a.Hotpath, wantHotpath) {
 		t.Errorf("Hotpath = %v, want %v", a.Hotpath, wantHotpath)
 	}
+	wantLocks := map[string]string{"example/p.Result.mu": "result"}
+	if !reflect.DeepEqual(a.Locks, wantLocks) {
+		t.Errorf("Locks = %v, want %v", a.Locks, wantLocks)
+	}
 }
 
 func TestFactsRoundTrip(t *testing.T) {
 	_, a := parse(t, annotatedSrc)
-	data, err := EncodeFacts(a)
+	data, err := EncodeFacts(a, nil)
 	if err != nil {
 		t.Fatalf("EncodeFacts: %v", err)
 	}
-	got, err := DecodeFacts(data)
+	got, _, err := DecodeFacts(data)
 	if err != nil {
 		t.Fatalf("DecodeFacts: %v", err)
 	}
@@ -100,7 +108,7 @@ func TestFactsRoundTrip(t *testing.T) {
 	}
 
 	// Deterministic: encoding twice gives identical bytes.
-	data2, err := EncodeFacts(a)
+	data2, err := EncodeFacts(a, nil)
 	if err != nil {
 		t.Fatalf("EncodeFacts (2nd): %v", err)
 	}
@@ -110,14 +118,14 @@ func TestFactsRoundTrip(t *testing.T) {
 }
 
 func TestDecodeFactsEmptyAndMalformed(t *testing.T) {
-	a, err := DecodeFacts(nil)
+	a, sums, err := DecodeFacts(nil)
 	if err != nil {
 		t.Fatalf("DecodeFacts(nil): %v", err)
 	}
-	if !a.Empty() {
-		t.Errorf("DecodeFacts(nil) = %+v, want empty", a)
+	if !a.Empty() || len(sums) != 0 {
+		t.Errorf("DecodeFacts(nil) = %+v, %v, want empty", a, sums)
 	}
-	if _, err := DecodeFacts([]byte("{not json")); err == nil {
+	if _, _, err := DecodeFacts([]byte("{not json")); err == nil {
 		t.Error("DecodeFacts on malformed input: got nil error")
 	}
 }

@@ -1,0 +1,237 @@
+package framework
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+// summarySrc exercises every summary dimension: lock acquisition order,
+// calls under locks, allocation sites (one waived), non-escaping function
+// parameters, forever loops, WaitGroup.Done, channel lifecycle, and
+// attached taint through returns/params.
+const summarySrc = `package q
+
+import "sync"
+
+type Store struct {
+	//gather:lock store — guards everything
+	mu sync.Mutex
+	//gather:lock aux
+	auxMu sync.RWMutex
+
+	items chan int
+
+	//gather:attached
+	tail []int
+}
+
+func (s *Store) Nest() {
+	s.mu.Lock()
+	s.auxMu.RLock()
+	s.helper()
+	s.auxMu.RUnlock()
+	s.mu.Unlock()
+}
+
+func (s *Store) helper() {}
+
+func (s *Store) Grow(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	m := map[int]int{}
+	_ = m
+	waived := map[int]bool{} //lint:allow hotalloc scratch map lives for the whole run
+	_ = waived
+	return out
+}
+
+func Visit(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func VisitAll(n int, fn func(int)) {
+	if fn != nil {
+		Visit(n, fn)
+	}
+}
+
+func (s *Store) Spin() {
+	for {
+		s.helper()
+	}
+}
+
+func (s *Store) Drain(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for range s.items {
+	}
+}
+
+func (s *Store) Shut() { close(s.items) }
+
+func (s *Store) Tail() []int { return s.tail }
+
+func Passthrough(xs []int) []int { return xs }
+
+func TailVia(s *Store) []int { return Passthrough(s.Tail()) }
+`
+
+func loadSummaries(t *testing.T) (*token.FileSet, map[string]*FuncSummary, *Annotations) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "q.go", summarySrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ann := NewAnnotations()
+	ann.ScanFile("example/q", f)
+	info := NewInfo()
+	conf := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("example/q", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return fset, ComputeSummaries(fset, []*ast.File{f}, pkg, info, ann, nil), ann
+}
+
+func TestComputeSummaries(t *testing.T) {
+	_, sums, _ := loadSummaries(t)
+
+	nest := sums["example/q.Store.Nest"]
+	if nest == nil {
+		t.Fatal("no summary for Nest")
+	}
+	if len(nest.Acquires) != 2 || nest.Acquires[0].Lock != "store" || nest.Acquires[1].Lock != "aux" {
+		t.Errorf("Nest.Acquires = %+v, want store then aux", nest.Acquires)
+	}
+	if len(nest.Edges) != 1 || nest.Edges[0].From != "store" || nest.Edges[0].To != "aux" {
+		t.Errorf("Nest.Edges = %+v, want store->aux", nest.Edges)
+	}
+	foundHeld := false
+	for _, hc := range nest.CallsHolding {
+		if hc.Callee == "example/q.Store.helper" && len(hc.Held) == 2 {
+			foundHeld = true
+		}
+	}
+	if !foundHeld {
+		t.Errorf("Nest.CallsHolding = %+v, want helper under {aux store}", nest.CallsHolding)
+	}
+
+	grow := sums["example/q.Store.Grow"]
+	kinds := map[string]int{}
+	waived := 0
+	for _, a := range grow.Allocs {
+		kinds[a.Kind]++
+		if a.Waived {
+			waived++
+		}
+	}
+	if kinds["append"] != 1 || kinds["maplit"] != 2 || waived != 1 {
+		t.Errorf("Grow.Allocs = %+v, want 1 append + 2 maplit with 1 waived", grow.Allocs)
+	}
+
+	if got := sums["example/q.Visit"].NoEscapeParams; !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("Visit.NoEscapeParams = %v, want [1]", got)
+	}
+	// VisitAll only forwards fn to Visit's non-escaping slot — the
+	// intra-package fixpoint must prove it too.
+	if got := sums["example/q.VisitAll"].NoEscapeParams; !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("VisitAll.NoEscapeParams = %v, want [1]", got)
+	}
+
+	if !sums["example/q.Store.Spin"].Forever {
+		t.Error("Spin not marked Forever")
+	}
+	drain := sums["example/q.Store.Drain"]
+	if !drain.WGDone {
+		t.Error("Drain not marked WGDone")
+	}
+	if !reflect.DeepEqual(drain.RangesChans, []string{"example/q.Store.items"}) {
+		t.Errorf("Drain.RangesChans = %v", drain.RangesChans)
+	}
+	if got := sums["example/q.Store.Shut"].ClosesChans; !reflect.DeepEqual(got, []string{"example/q.Store.items"}) {
+		t.Errorf("Shut.ClosesChans = %v", got)
+	}
+
+	if !sums["example/q.Store.Tail"].ReturnsAttached {
+		t.Error("Tail not marked ReturnsAttached")
+	}
+	if got := sums["example/q.Passthrough"].ParamToReturn; !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("Passthrough.ParamToReturn = %v, want [0]", got)
+	}
+	// Attachment must flow Tail -> Passthrough -> TailVia's return.
+	if !sums["example/q.TailVia"].ReturnsAttached {
+		t.Error("TailVia not marked ReturnsAttached (taint lost through call chain)")
+	}
+}
+
+func TestSummaryFactsRoundTrip(t *testing.T) {
+	_, sums, ann := loadSummaries(t)
+	data, err := EncodeFacts(ann, sums)
+	if err != nil {
+		t.Fatalf("EncodeFacts: %v", err)
+	}
+	data2, err := EncodeFacts(ann, sums)
+	if err != nil {
+		t.Fatalf("EncodeFacts (2nd): %v", err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("summary fact encoding is not deterministic")
+	}
+
+	gotAnn, gotSums, err := DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("DecodeFacts: %v", err)
+	}
+	if !reflect.DeepEqual(gotAnn.Locks, ann.Locks) {
+		t.Errorf("Locks round trip: got %v, want %v", gotAnn.Locks, ann.Locks)
+	}
+
+	// The waived maplit in Grow must NOT survive export: a dependency's
+	// reasoned waiver silences dependent reports too.
+	grow := gotSums["example/q.Store.Grow"]
+	if grow == nil {
+		t.Fatal("Grow summary lost in round trip")
+	}
+	if len(grow.Allocs) != 2 {
+		t.Errorf("exported Grow.Allocs = %+v, want 2 (waived site dropped)", grow.Allocs)
+	}
+	for _, a := range grow.Allocs {
+		if a.Waived {
+			t.Errorf("waived site survived export: %+v", a)
+		}
+		if a.Pos != token.NoPos {
+			t.Errorf("token position survived export: %+v", a)
+		}
+		if a.Loc == "" {
+			t.Errorf("exported alloc site lost its location: %+v", a)
+		}
+	}
+
+	// Structural facts survive byte-for-byte semantics.
+	nest := gotSums["example/q.Store.Nest"]
+	if len(nest.Edges) != 1 || nest.Edges[0].From != "store" || nest.Edges[0].To != "aux" {
+		t.Errorf("Nest.Edges after round trip = %+v", nest.Edges)
+	}
+	if nest.Key != "example/q.Store.Nest" {
+		t.Errorf("decoded summary key = %q", nest.Key)
+	}
+	if !gotSums["example/q.Store.Spin"].Forever {
+		t.Error("Forever lost in round trip")
+	}
+	if got := gotSums["example/q.Visit"].NoEscapeParams; !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("NoEscapeParams after round trip = %v", got)
+	}
+	if !gotSums["example/q.Store.Tail"].ReturnsAttached {
+		t.Error("ReturnsAttached lost in round trip")
+	}
+}

@@ -1,5 +1,4 @@
-// Package hotalloc flags allocation-introducing constructs inside
-// functions annotated //gather:hotpath.
+// Package hotalloc flags allocation-introducing constructs on hot paths.
 //
 // The discovery hot paths (crowd extension, DBSCAN neighbourhoods, grid
 // probes) are kept allocation-free and pinned by testing.AllocsPerRun
@@ -10,11 +9,23 @@
 //   - append to a slice declared in the function without capacity
 //     evidence (var s []T / s := []T{}) — presize with make, or reuse a
 //     scratch buffer (buf[:0])
-//   - map or slice-of-pointer composite literals and un-sized make(map)
-//   - function literals, which usually escape (an immediately-invoked
-//     literal is allowed — it is inlined)
+//   - map composite literals and un-sized make(map)
+//   - function literals, which usually escape (immediately-invoked
+//     literals are allowed — they are inlined — and so are literals
+//     passed to a parameter the callee's summary proves non-escaping)
 //   - any call into fmt (cold-path formatting belongs behind panic or
 //     off the hot path; arguments to panic are exempt)
+//
+// The allocation sites themselves are computed once per function by the
+// framework's summary pass (FuncSummary.Allocs) and travel across
+// packages as facts. On top of the lexical check of each annotated
+// function, the analyzer closes every //gather:hotpath root over the
+// call graph (FuncSummary.Calls): a local callee's sites are reported at
+// the site with the reaching root named; a foreign callee's sites are
+// reported at the local call that reaches them. Functions that are
+// themselves annotated //gather:hotpath stop the walk — they are
+// enforced in their home package, so by induction the whole reachable
+// set is covered without double reports.
 //
 // The checks are heuristics on declaration evidence, not escape
 // analysis: a deliberate allocation on a hot path is documented with
@@ -22,8 +33,10 @@
 package hotalloc
 
 import (
-	"go/ast"
-	"go/types"
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
 
 	"repro/internal/analysis/framework"
 )
@@ -32,244 +45,118 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "hotalloc",
 	Doc: "flags allocation-introducing constructs (un-presized append, map " +
-		"literals, escaping closures, fmt) in //gather:hotpath functions",
+		"literals, escaping closures, fmt) in //gather:hotpath functions and " +
+		"every function reachable from one",
 	Run: run,
 }
 
 func run(pass *framework.Pass) error {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if !pass.Ann.Hotpath[framework.FuncDeclKey(pass.Pkg.Path(), fd)] {
-				continue
-			}
-			checkFunc(pass, fd)
+	here := pass.Pkg.Path()
+	roots := make([]string, 0, len(pass.Ann.Hotpath))
+	for k := range pass.Ann.Hotpath {
+		roots = append(roots, k)
+	}
+	sort.Strings(roots)
+
+	// visited spans all roots: each function's sites are charged once, to
+	// the first (alphabetical) root that reaches it.
+	visited := map[string]bool{}
+	for _, root := range roots {
+		s := pass.Sums[root]
+		if s == nil || s.Pkg != here {
+			continue // foreign roots are enforced in their home package
 		}
+		if !visited[root] {
+			visited[root] = true
+			reportOwnSites(pass, s)
+		}
+		closeOver(pass, s, root, token.NoPos, visited)
 	}
 	return nil
 }
 
-func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
-	unsized := collectUnsized(pass, fd)
-	var walk func(n ast.Node) bool
-	walk = func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			if isPanic(pass, x) {
-				return false // cold path: panic(fmt.Sprintf(...)) is fine
-			}
-			if id, ok := calleeIdent(x); ok {
-				if obj := pass.TypesInfo.Uses[id]; obj != nil {
-					if fn, okf := obj.(*types.Func); okf && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-						pass.Reportf(x.Pos(), "call to fmt.%s in hot path %s allocates; move formatting off the hot path", fn.Name(), fd.Name.Name)
-					}
-					if _, okb := obj.(*types.Builtin); okb && id.Name == "append" {
-						checkAppend(pass, fd, x, unsized)
-					}
-					if _, okb := obj.(*types.Builtin); okb && id.Name == "make" {
-						checkMake(pass, fd, x)
-					}
-				}
-			}
-		case *ast.FuncLit:
-			// An immediately-invoked literal does not escape; anything else
-			// (stored, passed as callback) usually allocates a closure.
-			if !isIIFE(fd, x) {
-				pass.Reportf(x.Pos(), "function literal in hot path %s allocates a closure; hoist it or restructure", fd.Name.Name)
-			}
-			ast.Inspect(x.Body, walk)
-			return false
-		case *ast.CompositeLit:
-			t := pass.TypesInfo.Types[x].Type
-			if t != nil {
-				if _, isMap := t.Underlying().(*types.Map); isMap {
-					pass.Reportf(x.Pos(), "map literal in hot path %s allocates; hoist the map or index arrays instead", fd.Name.Name)
-				}
-			}
-		}
-		return true
-	}
-	ast.Inspect(fd.Body, walk)
-}
-
-// collectUnsized returns the local slice variables declared with no
-// capacity evidence: var s []T, s := []T{}, s := []T(nil). Parameters,
-// make()d slices and reslices of other values are capacity-evident and
-// excluded.
-func collectUnsized(pass *framework.Pass, fd *ast.FuncDecl) map[types.Object]bool {
-	unsized := map[types.Object]bool{}
-	// Named results start out nil with no capacity — the classic shape of
-	// the gathering detector's un-presized `par` result.
-	if fd.Type.Results != nil {
-		for _, field := range fd.Type.Results.List {
-			for _, name := range field.Names {
-				if obj := pass.TypesInfo.Defs[name]; obj != nil && isSliceType(obj.Type()) {
-					unsized[obj] = true
-				}
-			}
+// reportOwnSites emits the classic lexical findings of an annotated
+// function (waived sites are dropped later by the framework's
+// //lint:allow filter, which matches their real positions).
+func reportOwnSites(pass *framework.Pass, s *framework.FuncSummary) {
+	name := shortName(s.Key)
+	for _, a := range s.Allocs {
+		switch a.Kind {
+		case "append":
+			pass.Reportf(a.Pos, "append to %s grows an un-presized slice in hot path %s; make([]T, 0, n) it or reuse a scratch buffer", a.Detail, name)
+		case "maplit":
+			pass.Reportf(a.Pos, "map literal in hot path %s allocates; hoist the map or index arrays instead", name)
+		case "makemap":
+			pass.Reportf(a.Pos, "make(map) without a size hint in hot path %s; presize it or hoist it to reusable scratch state", name)
+		case "closure":
+			pass.Reportf(a.Pos, "function literal in hot path %s allocates a closure; hoist it or restructure", name)
+		case "fmt":
+			pass.Reportf(a.Pos, "call to fmt.%s in hot path %s allocates; move formatting off the hot path", a.Detail, name)
 		}
 	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.DeclStmt:
-			gd, ok := s.Decl.(*ast.GenDecl)
-			if !ok {
-				return true
-			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for i, name := range vs.Names {
-					if obj := pass.TypesInfo.Defs[name]; obj != nil && isSliceType(obj.Type()) {
-						if len(vs.Values) == 0 || isZeroSlice(pass, vs.Values[i]) {
-							unsized[obj] = true
-						}
-					}
-				}
-			}
-		case *ast.AssignStmt:
-			if len(s.Lhs) != len(s.Rhs) {
-				return true
-			}
-			for i, lhs := range s.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok {
-					continue
-				}
-				obj := pass.TypesInfo.Defs[id]
-				if obj == nil {
-					obj = pass.TypesInfo.Uses[id]
-				}
-				if obj == nil || !isSliceType(obj.Type()) {
-					continue
-				}
-				if isZeroSlice(pass, s.Rhs[i]) {
-					unsized[obj] = true
-				} else if !isSelfAppend(s.Rhs[i], id) {
-					// Any other re-binding (make, reslice, call result)
-					// counts as capacity evidence.
-					delete(unsized, obj)
-				}
+}
+
+// closeOver walks the call graph below caller, charging reachable
+// functions' allocation sites to root. anchor is the position of the
+// local call through which the walk left the current package — foreign
+// sites are reported there, since a foreign position cannot be rendered
+// in this package's diagnostics.
+func closeOver(pass *framework.Pass, caller *framework.FuncSummary, root string,
+	anchor token.Pos, visited map[string]bool) {
+
+	here := pass.Pkg.Path()
+	for _, c := range caller.Calls {
+		callee := pass.Sums[c.Callee]
+		if callee == nil {
+			continue // stdlib or unanalysed: no summary, nothing to charge
+		}
+		if pass.Ann.Hotpath[c.Callee] {
+			continue // its own root: enforced where it lives
+		}
+		if visited[c.Callee] {
+			continue
+		}
+		visited[c.Callee] = true
+		local := callee.Pkg == here
+		nextAnchor := anchor
+		if !local && nextAnchor == token.NoPos {
+			nextAnchor = c.Pos
+		}
+		for _, a := range callee.Allocs {
+			if local {
+				pass.Reportf(a.Pos, "%s in %s, reachable from hot path %s; fix it there or annotate the function //gather:hotpath",
+					kindMsg(a), shortName(callee.Key), shortName(root))
+			} else {
+				pass.Reportf(nextAnchor, "call into %s reaches %s (%s) on hot path %s; fix the callee or take this call off the hot path",
+					c.Callee, kindMsg(a), a.Loc, shortName(root))
 			}
 		}
-		return true
-	})
-	return unsized
-}
-
-// checkAppend flags append whose destination is a capacity-blind local.
-func checkAppend(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr, unsized map[types.Object]bool) {
-	if len(call.Args) == 0 {
-		return
-	}
-	id, ok := call.Args[0].(*ast.Ident)
-	if !ok {
-		return
-	}
-	obj := pass.TypesInfo.Uses[id]
-	if obj == nil {
-		obj = pass.TypesInfo.Defs[id]
-	}
-	if obj != nil && unsized[obj] {
-		pass.Reportf(call.Pos(), "append to %s grows an un-presized slice in hot path %s; make([]T, 0, n) it or reuse a scratch buffer", id.Name, fd.Name.Name)
+		closeOver(pass, callee, root, nextAnchor, visited)
 	}
 }
 
-// checkMake flags make(map[...]...) without size and nothing else: sized
-// slice makes are exactly the presizing the append check asks for.
-func checkMake(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
-	if len(call.Args) == 0 {
-		return
+// kindMsg renders one allocation site for closure diagnostics.
+func kindMsg(a framework.AllocSite) string {
+	switch a.Kind {
+	case "append":
+		return fmt.Sprintf("an append to %s growing an un-presized slice", a.Detail)
+	case "maplit":
+		return "a map literal"
+	case "makemap":
+		return "an unsized make(map)"
+	case "closure":
+		return "a closure allocation"
+	case "fmt":
+		return fmt.Sprintf("a call to fmt.%s", a.Detail)
 	}
-	t := pass.TypesInfo.Types[call.Args[0]].Type
-	if t == nil {
-		return
-	}
-	if _, isMap := t.Underlying().(*types.Map); isMap && len(call.Args) == 1 {
-		pass.Reportf(call.Pos(), "make(map) without a size hint in hot path %s; presize it or hoist it to reusable scratch state", fd.Name.Name)
-	}
+	return a.Kind
 }
 
-func isSliceType(t types.Type) bool {
-	_, ok := t.Underlying().(*types.Slice)
-	return ok
-}
-
-// isZeroSlice reports expressions that declare a slice with no capacity:
-// []T{}, []T(nil), nil.
-func isZeroSlice(pass *framework.Pass, e ast.Expr) bool {
-	switch x := e.(type) {
-	case *ast.CompositeLit:
-		t := pass.TypesInfo.Types[x].Type
-		if t == nil {
-			return false
-		}
-		_, isSlice := t.Underlying().(*types.Slice)
-		return isSlice && len(x.Elts) == 0
-	case *ast.Ident:
-		return x.Name == "nil"
-	case *ast.CallExpr:
-		// []T(nil) conversion
-		if len(x.Args) == 1 {
-			if id, ok := x.Args[0].(*ast.Ident); ok && id.Name == "nil" {
-				if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
-					return true
-				}
-			}
-		}
+// shortName reduces a summary key to its final identifier, matching the
+// function-name form of the original lexical diagnostics.
+func shortName(key string) string {
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		return key[i+1:]
 	}
-	return false
-}
-
-// isSelfAppend reports s = append(s, ...) — growth, not re-binding.
-func isSelfAppend(e ast.Expr, dst *ast.Ident) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	fun, ok := call.Fun.(*ast.Ident)
-	if !ok || fun.Name != "append" || len(call.Args) == 0 {
-		return false
-	}
-	src, ok := call.Args[0].(*ast.Ident)
-	return ok && src.Name == dst.Name
-}
-
-// isIIFE reports whether lit is immediately invoked: func(){...}().
-func isIIFE(fd *ast.FuncDecl, lit *ast.FuncLit) bool {
-	found := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && call.Fun == lit {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// isPanic reports a call to the builtin panic.
-func isPanic(pass *framework.Pass, call *ast.CallExpr) bool {
-	id, ok := call.Fun.(*ast.Ident)
-	if !ok || id.Name != "panic" {
-		return false
-	}
-	obj := pass.TypesInfo.Uses[id]
-	_, isBuiltin := obj.(*types.Builtin)
-	return isBuiltin
-}
-
-// calleeIdent extracts the identifier being called, through selectors.
-func calleeIdent(call *ast.CallExpr) (*ast.Ident, bool) {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		return fun, true
-	case *ast.SelectorExpr:
-		return fun.Sel, true
-	}
-	return nil, false
+	return key
 }

@@ -2,7 +2,11 @@
 // introduce avoidable allocations; everything else is out of scope.
 package hot
 
-import "fmt"
+import (
+	"fmt"
+
+	"hotdep"
+)
 
 type batch struct {
 	buf []int
@@ -60,10 +64,44 @@ func waived(xs []int) []int {
 	return rare
 }
 
-// cold is not annotated: hotalloc ignores it entirely.
+// cold is not annotated and not reachable from any hot path: hotalloc
+// ignores it entirely.
 func cold() []int {
 	var out []int
 	out = append(out, 1)
 	fmt.Println("cold")
 	return out
+}
+
+// helper is not annotated but is called from viaHelper's hot path, so
+// the call-graph closure checks it anyway.
+func helper(xs []int) []int {
+	var got []int
+	for _, x := range xs {
+		got = append(got, x) // want `append to got growing an un-presized slice in helper, reachable from hot path viaHelper`
+	}
+	return got
+}
+
+// presizedHelper is reachable too, but clean.
+func presizedHelper(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	return append(out, xs...)
+}
+
+//gather:hotpath
+func viaHelper(xs []int) []int {
+	return helper(presizedHelper(xs))
+}
+
+//gather:hotpath
+func viaDep(xs []int) []int {
+	sum := 0
+	hotdep.Visit(len(xs), func(i int) { sum += i }) // non-escaping visitor: no closure report
+	return hotdep.Grow(xs)                          // want `call into hotdep.Grow reaches an append to out growing an un-presized slice`
+}
+
+//gather:hotpath
+func viaKeep(xs []int) {
+	hotdep.Keep(func(i int) {}) // want `function literal in hot path viaKeep allocates a closure`
 }

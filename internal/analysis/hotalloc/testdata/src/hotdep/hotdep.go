@@ -1,0 +1,27 @@
+// Package hotdep is a dependency of the hot fixture: its allocation
+// sites and non-escaping visitor parameters are only visible to the hot
+// package through summary facts.
+package hotdep
+
+// Grow allocates; it is not annotated, so it is only flagged when a hot
+// path in a dependent package reaches it.
+func Grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Visit only ever calls fn — the summary proves the parameter does not
+// escape, so literals passed here stay on the caller's stack.
+func Visit(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Keep stores fn — it escapes, so literals passed here allocate.
+var kept func(int)
+
+func Keep(fn func(int)) { kept = fn }

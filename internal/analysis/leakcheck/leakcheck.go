@@ -1,0 +1,287 @@
+// Package leakcheck flags goroutines launched without a termination
+// path. A leaked goroutine in the engine pins its shard state, its
+// scratch arenas and (under -race) a watchdog slot forever; the paper's
+// per-batch cost bound assumes worker counts stay fixed.
+//
+// A `go` statement is reported when the goroutine body — a function
+// literal inspected directly, or a named function judged through its
+// FuncSummary fact — provably never terminates or waits on a signal that
+// provably never arrives:
+//
+//   - an infinite for-loop with no reachable exit: no condition, no
+//     return, no break out, no ctx/done select arm that leaves the loop,
+//     no panic (FuncSummary.Forever for named functions);
+//   - a `for range ch` with no other exit over a channel that no function
+//     in the package or its dependencies ever closes (ClosesChans facts
+//     for field/package channels, a package-wide object scan for locals);
+//   - a goroutine accounted into a sync.WaitGroup — wg.Add on the
+//     launching path — whose body never calls wg.Done, deferred or not
+//     (FuncSummary.WGDone for named functions): the matching Wait blocks
+//     forever, which is the dual leak.
+//
+// The judgements are lexical over summaries, not a liveness proof; a
+// deliberate daemon is documented with //lint:allow leakcheck <reason>.
+package leakcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the leakcheck check.
+var Analyzer = &framework.Analyzer{
+	Name: "leakcheck",
+	Doc: "flags goroutines launched without a termination path: forever " +
+		"loops, ranges over never-closed channels, missing WaitGroup.Done",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	closed := closedChans(pass)
+	for _, file := range pass.Files {
+		// Go statements always sit in a statement list (block, case or
+		// comm clause); walking the lists lets each one see whether the
+		// statement before it is the idiomatic wg.Add of its accounting.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, st := range list {
+				g, ok := st.(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				wgAdded := i > 0 && isWGAddStmt(pass, list[i-1])
+				checkGo(pass, g, wgAdded, closed)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isWGAddStmt reports an expression statement calling (*sync.WaitGroup).Add.
+func isWGAddStmt(pass *framework.Pass, st ast.Stmt) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Name() != "Add" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && framework.TypeKey(sig.Recv().Type()) == "sync.WaitGroup"
+}
+
+// closedChans collects every channel identity known to be closed: field
+// and package-level channels through the ClosesChans summary facts
+// (module-wide), plus local channel objects closed anywhere in this
+// package.
+func closedChans(pass *framework.Pass) map[any]bool {
+	closed := map[any]bool{}
+	for _, s := range pass.Sums {
+		for _, key := range s.ClosesChans {
+			closed[key] = true
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "close" {
+				return true
+			}
+			if _, isB := pass.TypesInfo.Uses[id].(*types.Builtin); !isB {
+				return true
+			}
+			if obj := chanObj(pass, call.Args[0]); obj != nil {
+				closed[obj] = true
+			}
+			return true
+		})
+	}
+	return closed
+}
+
+// chanObj resolves a channel expression to a types.Object for local
+// variables (field channels go through string keys instead).
+func chanObj(pass *framework.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	return obj
+}
+
+// chanKey names a field or package-level channel the way summaries do.
+func chanKey(pass *framework.Pass, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		sel := pass.TypesInfo.Selections[x]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return ""
+		}
+		if key := framework.TypeKey(sel.Recv()); key != "" {
+			return key + "." + x.Sel.Name
+		}
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// checkGo judges one go statement.
+func checkGo(pass *framework.Pass, g *ast.GoStmt, wgAdded bool, closed map[any]bool) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		checkLitBody(pass, g, lit, wgAdded, closed)
+		return
+	}
+	// Named function or method: judge through its summary fact.
+	fn := calleeFunc(pass, g.Call)
+	if fn == nil {
+		return
+	}
+	s := pass.Sums[framework.FuncKey(fn)]
+	if s == nil {
+		return
+	}
+	if s.Forever {
+		pass.Reportf(g.Pos(), "goroutine %s runs an infinite loop with no exit path; select on a done channel or context", framework.FuncKey(fn))
+		return
+	}
+	for _, key := range s.RangesChans {
+		if !closed[any(key)] {
+			pass.Reportf(g.Pos(), "goroutine %s ranges over %s, which nothing closes; the goroutine leaks when producers stop", framework.FuncKey(fn), key)
+			return
+		}
+	}
+	if wgAdded && !s.WGDone {
+		pass.Reportf(g.Pos(), "goroutine %s is counted by WaitGroup.Add on this path but never calls Done; the matching Wait blocks forever", framework.FuncKey(fn))
+	}
+}
+
+// checkLitBody judges a goroutine launched as a function literal.
+func checkLitBody(pass *framework.Pass, g *ast.GoStmt, lit *ast.FuncLit, wgAdded bool, closed map[any]bool) {
+	if framework.BodyRunsForever(pass.TypesInfo, lit.Body) {
+		pass.Reportf(g.Pos(), "goroutine runs an infinite loop with no exit path; select on a done channel or context")
+		return
+	}
+	leaky := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if leaky {
+			return false
+		}
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		r, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.Types[r.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		if framework.LoopHasExit(r.Body) {
+			return true
+		}
+		if key := chanKey(pass, r.X); key != "" {
+			if !closed[any(key)] {
+				pass.Reportf(g.Pos(), "goroutine ranges over %s, which nothing closes; the goroutine leaks when producers stop", key)
+				leaky = true
+			}
+			return true
+		}
+		if obj := chanObj(pass, r.X); obj != nil && !closed[obj] {
+			pass.Reportf(g.Pos(), "goroutine ranges over channel %s, which nothing in this package closes; close it or add an exit", obj.Name())
+			leaky = true
+		}
+		return true
+	})
+	if leaky {
+		return
+	}
+	if wgAdded && !callsDone(pass, lit.Body) {
+		pass.Reportf(g.Pos(), "goroutine is counted by WaitGroup.Add on this path but never calls Done; the matching Wait blocks forever")
+	}
+}
+
+// callsDone reports whether body calls (*sync.WaitGroup).Done, including
+// inside nested literals (defer func(){ wg.Done() }()).
+func callsDone(pass *framework.Pass, body *ast.BlockStmt) bool {
+	return callsWGMethod(pass, body, "Done")
+}
+
+func callsWGMethod(pass *framework.Pass, body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if framework.TypeKey(sig.Recv().Type()) == "sync.WaitGroup" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeFunc resolves the called *types.Func of a call expression.
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

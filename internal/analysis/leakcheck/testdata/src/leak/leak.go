@@ -1,0 +1,98 @@
+// Package leak exercises the goroutine-termination judgements: forever
+// loops, ranges over never-closed channels (field and local), and
+// WaitGroup accounting without Done.
+package leak
+
+import "sync"
+
+type Pump struct {
+	in  chan int
+	out chan int
+}
+
+// run ranges over in, which nothing closes.
+func (p *Pump) run() {
+	for range p.in {
+	}
+}
+
+// drain ranges over out, which Close closes.
+func (p *Pump) drain() {
+	for range p.out {
+	}
+}
+
+// Close ends drain's range.
+func (p *Pump) Close() { close(p.out) }
+
+// spin never returns.
+func (p *Pump) spin() {
+	for {
+	}
+}
+
+func Leaks(p *Pump) {
+	go p.run()  // want "goroutine leak.Pump.run ranges over leak.Pump.in, which nothing closes"
+	go p.spin() // want "goroutine leak.Pump.spin runs an infinite loop with no exit path"
+	go func() { // want "infinite loop with no exit path"
+		for {
+			_ = p
+		}
+	}()
+	local := make(chan int)
+	go func() { // want "ranges over channel local, which nothing in this package closes"
+		for range local {
+		}
+	}()
+}
+
+func MissingDone(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "counted by WaitGroup.Add on this path but never calls Done"
+		work()
+	}()
+	wg.Wait()
+}
+
+func Clean(p *Pump, done chan struct{}) {
+	// Named function whose ranged channel is closed elsewhere.
+	go p.drain()
+
+	// A done-channel select arm is an exit path.
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-p.in:
+				_ = v
+			}
+		}
+	}()
+
+	// Local channel, closed in this package.
+	closed := make(chan int)
+	go func() {
+		for range closed {
+		}
+	}()
+	close(closed)
+
+	// Accounted goroutine with a deferred Done.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+
+	// A range with its own break is not a leak even unclosed.
+	go func() {
+		for v := range p.in {
+			if v < 0 {
+				break
+			}
+		}
+	}()
+}

@@ -1,0 +1,248 @@
+// Package lockorder builds a module-global lock-acquisition-order graph
+// and reports cycles — the static shape of a deadlock.
+//
+// Nodes are named lock identities: the //gather:lock <name> annotation on
+// a mutex field when present, otherwise the field or package-variable key
+// ("<pkg>.<Type>.<field>"). Edges come from the function summaries the
+// framework computes and propagates as facts:
+//
+//   - a direct edge A→B for every acquisition of B in a body lexically
+//     holding A (FuncSummary.Edges);
+//   - an interprocedural edge A→B for every call made while holding A
+//     (FuncSummary.CallsHolding) whose callee transitively acquires B
+//     (closure over FuncSummary.Calls × Acquires).
+//
+// Because summaries travel callee→caller through the vetx fact files, the
+// first package that can see both halves of a cross-package cycle is the
+// dependent one — so a cycle is reported only from packages contributing
+// at least one of its edges, at that edge's position, and carries the
+// full acquisition chain in the message. Two packages that both
+// contribute edges each report it once; the fix (a canonical acquisition
+// order) silences both.
+package lockorder
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc: "builds the global lock-acquisition-order graph from function " +
+		"summaries and reports cycles (potential deadlocks) with the full chain",
+	Run: run,
+}
+
+// edge is one arc of the lock graph with its witness site.
+type edge struct {
+	from, to string
+	fn       string // function whose body creates the arc
+	loc      string
+	pos      int    // token.Pos as int; 0 when the witness is foreign
+	via      string // callee whose transitive acquisition closes the arc
+	local    bool   // witness function lives in the package under analysis
+}
+
+func run(pass *framework.Pass) error {
+	g := buildGraph(pass)
+	if len(g.edges) == 0 {
+		return nil
+	}
+	reported := map[string]bool{}
+	// Deterministic iteration: sort the from-nodes.
+	nodes := make([]string, 0, len(g.adj))
+	for n := range g.adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if cycle := g.findCycle(n); cycle != nil {
+			key := canonicalCycle(cycle)
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			reportCycle(pass, cycle)
+		}
+	}
+	return nil
+}
+
+// graph is the acquisition-order graph with one witness edge per arc
+// (local witnesses preferred, so reports can anchor to a real position).
+type graph struct {
+	adj   map[string][]string
+	edges map[[2]string]*edge
+}
+
+func buildGraph(pass *framework.Pass) *graph {
+	g := &graph{adj: map[string][]string{}, edges: map[[2]string]*edge{}}
+	here := pass.Pkg.Path()
+
+	keys := make([]string, 0, len(pass.Sums))
+	for k := range pass.Sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	acq := &acquirer{sums: pass.Sums, memo: map[string][]string{}}
+	for _, k := range keys {
+		s := pass.Sums[k]
+		local := s.Pkg == here
+		for _, e := range s.Edges {
+			g.add(&edge{from: e.From, to: e.To, fn: e.Fn, loc: e.Loc,
+				pos: int(e.Pos), local: local})
+		}
+		for _, hc := range s.CallsHolding {
+			for _, to := range acq.transitive(hc.Callee) {
+				for _, from := range hc.Held {
+					if from == to {
+						continue
+					}
+					g.add(&edge{from: from, to: to, fn: k, loc: hc.Loc,
+						pos: int(hc.Pos), via: hc.Callee, local: local})
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *graph) add(e *edge) {
+	key := [2]string{e.from, e.to}
+	if prev, ok := g.edges[key]; ok {
+		// Keep the first local witness; otherwise first wins.
+		if prev.local || !e.local {
+			return
+		}
+		g.edges[key] = e
+		return
+	}
+	g.edges[key] = e
+	g.adj[e.from] = append(g.adj[e.from], e.to)
+	sort.Strings(g.adj[e.from])
+}
+
+// acquirer computes the transitive lock acquisitions of a function:
+// its own plus, through the call graph, its callees'.
+type acquirer struct {
+	sums map[string]*framework.FuncSummary
+	memo map[string][]string
+}
+
+func (a *acquirer) transitive(key string) []string {
+	if got, ok := a.memo[key]; ok {
+		return got
+	}
+	a.memo[key] = nil // cut recursion
+	set := map[string]bool{}
+	var visit func(k string, depth int)
+	seen := map[string]bool{}
+	visit = func(k string, depth int) {
+		if seen[k] || depth > 32 {
+			return
+		}
+		seen[k] = true
+		s := a.sums[k]
+		if s == nil {
+			return
+		}
+		for _, l := range s.Acquires {
+			set[l.Lock] = true
+		}
+		for _, c := range s.Calls {
+			visit(c.Callee, depth+1)
+		}
+	}
+	visit(key, 0)
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	a.memo[key] = out
+	return out
+}
+
+// findCycle returns a minimal cycle through start as an edge path, or nil.
+func (g *graph) findCycle(start string) []*edge {
+	// BFS back to start gives a shortest cycle, which keeps diagnostics
+	// tight even when larger cycles exist.
+	type step struct {
+		node string
+		prev *step
+		e    *edge
+	}
+	queue := []*step{{node: start}}
+	visited := map[string]bool{start: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.adj[cur.node] {
+			e := g.edges[[2]string{cur.node, next}]
+			if next == start {
+				var path []*edge
+				for s := &(step{node: next, prev: cur, e: e}); s.e != nil; s = s.prev {
+					path = append([]*edge{s.e}, path...)
+				}
+				return path
+			}
+			if !visited[next] {
+				visited[next] = true
+				queue = append(queue, &step{node: next, prev: cur, e: e})
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalCycle keys a cycle independently of its starting node.
+func canonicalCycle(cycle []*edge) string {
+	names := make([]string, len(cycle))
+	for i, e := range cycle {
+		names[i] = e.from
+	}
+	best := 0
+	for i := range names {
+		if names[i] < names[best] {
+			best = i
+		}
+	}
+	rot := append(append([]string{}, names[best:]...), names[:best]...)
+	return strings.Join(rot, "->")
+}
+
+// reportCycle emits the cycle once, anchored at a locally witnessed edge,
+// with the full acquisition chain.
+func reportCycle(pass *framework.Pass, cycle []*edge) {
+	anchor := -1
+	for i, e := range cycle {
+		if e.local {
+			anchor = i
+			break
+		}
+	}
+	if anchor < 0 {
+		return // every edge foreign: the contributing packages report it
+	}
+	// Rotate so the chain starts at the anchored edge.
+	cycle = append(append([]*edge{}, cycle[anchor:]...), cycle[:anchor]...)
+
+	var chain strings.Builder
+	chain.WriteString(cycle[0].from)
+	for _, e := range cycle {
+		fmt.Fprintf(&chain, " -> %s (", e.to)
+		if e.via != "" {
+			fmt.Fprintf(&chain, "via %s ", e.via)
+		}
+		fmt.Fprintf(&chain, "in %s at %s)", e.fn, e.loc)
+	}
+	pass.Reportf(token.Pos(cycle[0].pos),
+		"lock-order cycle: %s; acquire these locks in one canonical order everywhere",
+		chain.String())
+}

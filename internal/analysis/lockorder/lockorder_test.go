@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	// locka seeds half a cycle and must be clean in isolation; lockb
+	// completes it and must report it through locka's facts.
+	analysistest.Run(t, lockorder.Analyzer, "single", "locka", "lockb")
+}

@@ -1,0 +1,22 @@
+// Package locka owns two annotated locks and nests beta under alpha —
+// one half of a cycle whose other half lives in package lockb. On its
+// own this package is clean; the cycle only becomes visible to a
+// dependent package through the exported summary facts.
+package locka
+
+import "sync"
+
+type Res struct {
+	//gather:lock alpha
+	MuA sync.Mutex
+	//gather:lock beta
+	MuB sync.Mutex
+}
+
+// AcquireAB nests beta under alpha.
+func (r *Res) AcquireAB() {
+	r.MuA.Lock()
+	r.MuB.Lock()
+	r.MuB.Unlock()
+	r.MuA.Unlock()
+}

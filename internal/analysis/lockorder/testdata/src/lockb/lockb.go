@@ -1,0 +1,14 @@
+// Package lockb nests alpha under beta — the reverse of
+// locka.AcquireAB. The cycle spans two packages and is caught here only
+// because locka's acquisition edges arrive as facts.
+package lockb
+
+import "locka"
+
+// AcquireBA closes the cross-package cycle.
+func AcquireBA(r *locka.Res) {
+	r.MuB.Lock()
+	r.MuA.Lock() // want "lock-order cycle: beta -> alpha .in lockb.AcquireBA.* -> beta .in locka.Res.AcquireAB"
+	r.MuA.Unlock()
+	r.MuB.Unlock()
+}

@@ -1,0 +1,40 @@
+// Package single seeds an intra-package lock-order cycle where one half
+// is only visible interprocedurally (through a call made under a lock).
+package single
+
+import "sync"
+
+type S struct {
+	//gather:lock one
+	a sync.Mutex
+	//gather:lock two
+	b sync.Mutex
+}
+
+// AB nests two under one — but only via the helper call.
+func (s *S) AB() {
+	s.a.Lock()
+	s.lockB() // want "lock-order cycle: one -> two .via single.S.lockB in single.S.AB.* -> one .in single.S.BA"
+	s.a.Unlock()
+}
+
+func (s *S) lockB() {
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+// BA nests one under two, closing the cycle.
+func (s *S) BA() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// Consistent nests in the same order as AB; no new edge direction.
+func (s *S) Consistent() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}

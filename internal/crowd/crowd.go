@@ -460,7 +460,6 @@ func (s *SRSearcher) Prepare(cs []*snapshot.Cluster) {
 func (s *SRSearcher) Search(q *snapshot.Cluster) []int32 {
 	out := s.buf[:0]
 	window := q.MBR().Expand(s.Delta)
-	//lint:allow hotalloc the visitor never escapes rtree.Search, so no closure is heap-allocated
 	s.tree.Search(window, func(id int32) bool {
 		s.Candidates++
 		if geo.Hausdorff(q.Points, s.clusters[id].Points) <= s.Delta {
@@ -502,7 +501,6 @@ func (s *IRSearcher) Prepare(cs []*snapshot.Cluster) {
 //gather:hotpath
 func (s *IRSearcher) Search(q *snapshot.Cluster) []int32 {
 	out := s.buf[:0]
-	//lint:allow hotalloc the visitor never escapes rtree.SearchDSide, so no closure is heap-allocated
 	s.tree.SearchDSide(q.MBR(), s.Delta, func(id int32) bool {
 		s.Candidates++
 		if geo.Hausdorff(q.Points, s.clusters[id].Points) <= s.Delta {

@@ -38,7 +38,7 @@ func TestDiscoverFromResumeEquivalence(t *testing.T) {
 				merged = append(merged, cr)
 			}
 		}
-		part2 := DiscoverFrom(cdb, trajectory.Tick(k), part1.Tail, p, &GridSearcher{Delta: p.Delta})
+		part2 := DiscoverFrom(cdb, trajectory.Tick(k), part1.Tail, p, &GridSearcher{Delta: p.Delta}) //lint:allow detachcheck resuming from part1.Tail is the scenario under test: DiscoverFrom extends the handed-over candidates in place
 		merged = append(merged, part2.Crowds...)
 
 		got := signatures(merged)

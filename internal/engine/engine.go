@@ -160,6 +160,7 @@ type task struct {
 // sequences appliers so sub-batches hit the store in Append order no
 // matter which worker finishes clustering first.
 type shard struct {
+	//gather:lock shard
 	mu    sync.RWMutex
 	cond  *sync.Cond
 	store *incremental.Store
@@ -196,6 +197,7 @@ type Engine struct {
 	// crowd list is recomputed only when a sub-batch has been applied
 	// since it was built (mergeVer tracks TasksApplied), so steady-state
 	// queries pay a filter over the cached list, not the O(k²) merge.
+	//gather:lock merge
 	mergeMu    sync.Mutex
 	mergeVer   uint64
 	mergeValid bool
@@ -206,6 +208,7 @@ type Engine struct {
 	// concurrent appenders: each build already fans per-tick work across
 	// Workers goroutines, so admitting one at a time keeps total
 	// clustering parallelism bounded by the configured worker count.
+	//gather:lock build
 	buildMu sync.Mutex
 
 	// enqMu serialises sequence assignment and queue sends so the queue's
@@ -214,6 +217,7 @@ type Engine struct {
 	// capacity is tracked explicitly in qFree so admission waits on
 	// enqCond, never parked inside a channel send while holding enqMu —
 	// that would stall TryAppend and Close behind a blocked Append.
+	//gather:lock enq
 	enqMu    sync.Mutex
 	enqCond  *sync.Cond
 	qFree    int // queue slots not yet promised to a batch
@@ -222,6 +226,7 @@ type Engine struct {
 	closed   bool
 
 	// pending tracks enqueued-but-unapplied tasks for Flush.
+	//gather:lock pend
 	pendMu   sync.Mutex
 	pendCond *sync.Cond
 	pending  int

@@ -65,7 +65,9 @@ func (d Decomposition) has(c Cell) bool { return d.find(c) != nil }
 
 // Decompose buckets the cluster's points by grid cell for cell side s.
 func Decompose(c *snapshot.Cluster, s float64) Decomposition {
-	var d Decomposition
+	// A disk cluster of radius ~s covers a handful of cells, so a small
+	// capacity absorbs the common case without growing on search paths.
+	d := make(Decomposition, 0, 8)
 	for i, p := range c.Points {
 		cell := cellOf(p, s)
 		found := false

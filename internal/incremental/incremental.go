@@ -102,7 +102,7 @@ func (s *Store) Append(batch *snapshot.CDB) {
 	}
 	s.cdb.Append(batch)
 
-	res := crowd.DiscoverFrom(s.cdb, oldN, s.tail, s.crowdParams, s.searcher)
+	res := crowd.DiscoverFrom(s.cdb, oldN, s.tail, s.crowdParams, s.searcher) //lint:allow detachcheck DiscoverFrom is the resume engine: tail candidates are handed over precisely so it can extend them in place
 
 	// A cached detector is extended destructively, so when an old
 	// candidate branched into several closed crowds every claimant but the

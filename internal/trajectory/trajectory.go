@@ -70,8 +70,19 @@ func (tr *Trajectory) LocationAt(t float64) (geo.Point, bool) {
 	if t < tr.Samples[0].Time || t > tr.Samples[n-1].Time {
 		return geo.Point{}, false
 	}
-	// Find the first sample with Time >= t.
-	i := sort.Search(n, func(i int) bool { return tr.Samples[i].Time >= t })
+	// Find the first sample with Time >= t. Open-coded binary search:
+	// this is the innermost call of snapshot interpolation, and the
+	// sort.Search closure would allocate on that hot path.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tr.Samples[mid].Time < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
 	if i < n && tr.Samples[i].Time == t {
 		return tr.Samples[i].P, true
 	}
