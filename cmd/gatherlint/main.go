@@ -1,27 +1,35 @@
 // Command gatherlint is the repo's invariant checker: a multichecker
-// carrying the six analyzers that keep gathering discovery correct
+// carrying the seven analyzers that keep gathering discovery correct
 // under sharing — sharedmut, detachcheck, lockcheck, lockorder,
-// leakcheck and hotalloc (see docs/INVARIANTS.md).
+// leakcheck, hotalloc and racecheck (see docs/INVARIANTS.md).
 //
 // It runs two ways:
 //
-//	go vet -vettool=$(pwd)/bin/gatherlint ./...   # unitchecker protocol
-//	gatherlint [-json] ./...                      # standalone driver
+//	go vet -vettool=$(pwd)/bin/gatherlint ./...        # unitchecker protocol
+//	gatherlint [-json] [-tags list] [-baseline file] ./...   # standalone
 //
 // In vettool mode go vet drives it once per package with a vet.cfg
 // describing the type-checked unit (export data of every dependency
 // included), and //gather:* annotations plus per-function summary facts
-// (locks acquired, calls made while holding them, allocation sites,
-// goroutine termination, attached-crowd flow) travel between packages as
-// fact files. Standalone mode resolves the same information itself
-// through `go list -export -deps`, type-checking the whole in-module
-// import graph in dependency order. Both are built on the standard
-// library alone: the container this repo grows in has no module proxy,
-// so the x/tools unitchecker cannot be imported — its protocol is
-// reimplemented in vetcfg.go / standalone.go.
+// (locks acquired, calls made while holding them, field accesses with
+// their must-hold sets, allocation sites, goroutine termination,
+// attached-crowd flow) travel between packages as fact files. Standalone
+// mode resolves the same information itself through `go list -export
+// -deps`, type-checking the whole in-module import graph in dependency
+// order; the go list child honours GOFLAGS from the environment, and
+// -tags adds build tags the same way `go build -tags` would, so
+// tag-gated files are analysed under the constraints they compile
+// under. Both are built on the standard library alone: the container
+// this repo grows in has no module proxy, so the x/tools unitchecker
+// cannot be imported — its protocol is reimplemented in vetcfg.go /
+// standalone.go.
 //
-// With -json (standalone mode only) the findings and every //lint:allow
-// waiver are written to stdout as one JSON report for CI artifacts.
+// With -json (standalone mode only) the findings — including any
+// machine-applicable suggested fixes — and every //lint:allow waiver
+// are written to stdout as one JSON report for CI artifacts. With
+// -baseline the report of a previous -json run is treated as accepted
+// debt: only diagnostics not present in the baseline count toward the
+// exit status (CI fails on new findings, not inherited ones).
 //
 // Exit status: 0 clean, 1 operational error, 2 diagnostics found.
 package main
@@ -37,6 +45,7 @@ import (
 	"repro/internal/analysis/leakcheck"
 	"repro/internal/analysis/lockcheck"
 	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/racecheck"
 	"repro/internal/analysis/sharedmut"
 )
 
@@ -48,14 +57,34 @@ var analyzers = []*framework.Analyzer{
 	lockorder.Analyzer,
 	leakcheck.Analyzer,
 	hotalloc.Analyzer,
+	racecheck.Analyzer,
 }
 
 func main() {
 	args := os.Args[1:]
 	jsonOut := false
-	for len(args) > 0 && args[0] == "-json" {
-		jsonOut = true
-		args = args[1:]
+	tags, baseline := "", ""
+flags:
+	for len(args) > 0 {
+		switch {
+		case args[0] == "-json":
+			jsonOut = true
+			args = args[1:]
+		case args[0] == "-tags" && len(args) > 1:
+			tags = args[1]
+			args = args[2:]
+		case strings.HasPrefix(args[0], "-tags="):
+			tags = strings.TrimPrefix(args[0], "-tags=")
+			args = args[1:]
+		case args[0] == "-baseline" && len(args) > 1:
+			baseline = args[1]
+			args = args[2:]
+		case strings.HasPrefix(args[0], "-baseline="):
+			baseline = strings.TrimPrefix(args[0], "-baseline=")
+			args = args[1:]
+		default:
+			break flags
+		}
 	}
 	if len(args) == 0 {
 		usage()
@@ -75,7 +104,7 @@ func main() {
 		os.Exit(runVetCfg(args[0]))
 	default:
 		// Standalone mode over package patterns.
-		os.Exit(runStandalone(args, jsonOut))
+		os.Exit(runStandalone(args, jsonOut, tags, baseline))
 	}
 }
 
@@ -89,11 +118,18 @@ hot-path invariants:
 	}
 	fmt.Fprintf(os.Stderr, `
 usage:
-  gatherlint [-json] ./...               standalone, over package patterns
+  gatherlint [-json] [-tags list] [-baseline file] ./...   standalone
   go vet -vettool=/path/to/gatherlint ./...   as a vet tool (CI mode)
 
--json writes findings and //lint:allow waivers to stdout as a JSON
-report instead of vet-style text.
+-json writes findings (with machine-applicable suggested fixes where
+the analyzer computed one) and //lint:allow waivers to stdout as a
+JSON report instead of vet-style text.
+
+-tags adds build tags to the go list package resolution, like
+`+"`go build -tags`"+`; GOFLAGS from the environment is honoured too.
+
+-baseline treats the diagnostics of a previous -json report as
+accepted: only new findings affect the exit status.
 
 Findings are suppressed line-by-line with
   //lint:allow <analyzer> <reason why this is safe>

@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -40,13 +41,10 @@ func TestVettoolCleanOverRepo(t *testing.T) {
 	}
 }
 
-// TestStandaloneFindsViolations checks the go-list driver end to end: a
-// throwaway module with a sharedmut violation must produce a diagnostic
-// and exit status 2.
-func TestStandaloneFindsViolations(t *testing.T) {
-	if testing.Short() {
-		t.Skip("spawns go list and the typechecker; skipped with -short")
-	}
+// buildTool compiles the gatherlint binary into a test temp dir and
+// returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
 	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatal(err)
@@ -57,10 +55,13 @@ func TestStandaloneFindsViolations(t *testing.T) {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building gatherlint: %v\n%s", err, out)
 	}
+	return tool
+}
 
-	dir := t.TempDir()
-	write := func(name, src string) {
-		t.Helper()
+// writeTree writes files of a throwaway module under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
 		path := filepath.Join(dir, name)
 		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
 			t.Fatal(err)
@@ -68,6 +69,22 @@ func TestStandaloneFindsViolations(t *testing.T) {
 		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestStandaloneFindsViolations checks the go-list driver end to end: a
+// throwaway module with a sharedmut violation must produce a diagnostic
+// and exit status 2.
+func TestStandaloneFindsViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list and the typechecker; skipped with -short")
+	}
+	tool := buildTool(t)
+
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		writeTree(t, dir, map[string]string{name: src})
 	}
 	write("go.mod", "module lintprobe\n\ngo 1.22\n")
 	write("imm/imm.go", `package imm
@@ -87,7 +104,7 @@ func Mutate(s *imm.Shared) { s.N = 1 }
 	cmd.Dir = dir
 	cmd.Stdout = &out
 	cmd.Stderr = &out
-	err = cmd.Run()
+	err := cmd.Run()
 	exit, ok := err.(*exec.ExitError)
 	if !ok || exit.ExitCode() != 2 {
 		t.Fatalf("gatherlint ./... : err = %v, want exit status 2\n%s", err, out.String())
@@ -144,5 +161,181 @@ func send() {
 	}
 	if !foundWaiver {
 		t.Errorf("missing lockcheck waiver record in JSON report: %+v", rep.Waivers)
+	}
+}
+
+// TestStandaloneBuildTags checks that the standalone driver resolves
+// build constraints the way `go build` would: a `//go:build probe` file
+// whose code only typechecks against another probe-gated file is
+// ignored without the tag, analysed (and its violation reported) with
+// `-tags probe`, and equally with `GOFLAGS=-tags=probe` from the
+// environment.
+func TestStandaloneBuildTags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list and the typechecker; skipped with -short")
+	}
+	tool := buildTool(t)
+
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module tagprobe\n\ngo 1.22\n",
+		"imm/imm.go": `package imm
+
+//gather:immutable
+type Shared struct{ N int }
+`,
+		"use/use.go": `package use
+
+import "tagprobe/imm"
+
+// Read-only without the probe tag: nothing to report.
+func Peek(s *imm.Shared) int { return s.N }
+`,
+		// The two probe files only typecheck together: a driver that
+		// ignored build constraints would either fail on the dangling
+		// probeVal reference or never see the violation.
+		"use/probe.go": `//go:build probe
+
+package use
+
+import "tagprobe/imm"
+
+func MutateProbe(s *imm.Shared) { s.N = probeVal }
+`,
+		"use/probeval.go": `//go:build probe
+
+package use
+
+var probeVal = 2
+`,
+	})
+
+	run := func(env []string, args ...string) (int, string) {
+		t.Helper()
+		var out bytes.Buffer
+		cmd := exec.Command(tool, args...)
+		cmd.Dir = dir
+		cmd.Env = append(os.Environ(), env...)
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		err := cmd.Run()
+		if err == nil {
+			return 0, out.String()
+		}
+		exit, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("gatherlint %v: %v\n%s", args, err, out.String())
+		}
+		return exit.ExitCode(), out.String()
+	}
+
+	if code, out := run(nil, "./..."); code != 0 {
+		t.Errorf("without tags: exit %d, want 0 (probe files excluded)\n%s", code, out)
+	}
+	if code, out := run(nil, "-tags", "probe", "./..."); code != 2 ||
+		!strings.Contains(out, "[sharedmut]") {
+		t.Errorf("-tags probe: exit %d, want 2 with a sharedmut finding\n%s", code, out)
+	}
+	if code, out := run([]string{"GOFLAGS=-tags=probe"}, "./..."); code != 2 ||
+		!strings.Contains(out, "[sharedmut]") {
+		t.Errorf("GOFLAGS=-tags=probe: exit %d, want 2 with a sharedmut finding\n%s", code, out)
+	}
+}
+
+// TestStandaloneBaseline checks the accepted-debt flow: a -json report
+// committed as baseline absorbs the findings it lists (exit 0, records
+// marked baselined), while a new finding — even one identical to a
+// baselined one, once the baseline's count for the key is spent —
+// still fails the run.
+func TestStandaloneBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list and the typechecker; skipped with -short")
+	}
+	tool := buildTool(t)
+
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module baseprobe\n\ngo 1.22\n",
+		"imm/imm.go": `package imm
+
+//gather:immutable
+type Shared struct{ N int }
+`,
+		"use/use.go": `package use
+
+import "baseprobe/imm"
+
+func Mutate(s *imm.Shared) { s.N = 1 }
+`,
+	})
+
+	runJSON := func(args ...string) (int, jsonReport, string) {
+		t.Helper()
+		var out, errb bytes.Buffer
+		cmd := exec.Command(tool, append([]string{"-json"}, args...)...)
+		cmd.Dir = dir
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		err := cmd.Run()
+		code := 0
+		if err != nil {
+			exit, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("gatherlint -json %v: %v\n%s", args, err, errb.String())
+			}
+			code = exit.ExitCode()
+		}
+		var rep jsonReport
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("parsing -json output: %v\n%s", err, out.String())
+		}
+		return code, rep, errb.String()
+	}
+
+	code, rep, _ := runJSON("./...")
+	if code != 2 || len(rep.Diagnostics) != 1 {
+		t.Fatalf("initial run: exit %d with %d diagnostics, want 2 with 1", code, len(rep.Diagnostics))
+	}
+	baseline := filepath.Join(dir, "baseline.json")
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same tree against its own report: everything inherited, exit 0.
+	code, rep, _ = runJSON("-baseline", baseline, "./...")
+	if code != 0 {
+		t.Errorf("baselined run: exit %d, want 0", code)
+	}
+	if len(rep.Diagnostics) != 1 || !rep.Diagnostics[0].Baselined {
+		t.Errorf("baselined run: diagnostics = %+v, want the one finding marked baselined", rep.Diagnostics)
+	}
+
+	// A second identical violation in the same file exhausts the
+	// baseline's count for the key: the extra finding is new.
+	writeTree(t, dir, map[string]string{"use/use.go": `package use
+
+import "baseprobe/imm"
+
+func Mutate(s *imm.Shared) { s.N = 1 }
+
+func MutateAgain(s *imm.Shared) { s.N = 1 }
+`})
+	code, rep, _ = runJSON("-baseline", baseline, "./...")
+	if code != 2 {
+		t.Errorf("run with a new finding: exit %d, want 2", code)
+	}
+	newCount := 0
+	for _, d := range rep.Diagnostics {
+		if !d.Baselined {
+			newCount++
+		}
+	}
+	if len(rep.Diagnostics) != 2 || newCount != 1 {
+		t.Errorf("run with a new finding: %d diagnostics (%d new), want 2 with exactly 1 new: %+v",
+			len(rep.Diagnostics), newCount, rep.Diagnostics)
 	}
 }

@@ -39,6 +39,30 @@ type jsonDiagnostic struct {
 	Column   int    `json:"column"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	// Baselined marks a finding matched by the -baseline report: listed
+	// for visibility, excluded from the exit status.
+	Baselined bool `json:"baselined,omitempty"`
+	// SuggestedFix carries a machine-applicable repair when the analyzer
+	// computed one.
+	SuggestedFix *jsonFix `json:"suggestedFix,omitempty"`
+}
+
+// jsonFix is a suggested fix: non-overlapping text edits that repair
+// the finding.
+type jsonFix struct {
+	Message string     `json:"message"`
+	Edits   []jsonEdit `json:"edits"`
+}
+
+// jsonEdit replaces the source range [start, end) with newText; an
+// empty range is an insertion.
+type jsonEdit struct {
+	File      string `json:"file"`
+	StartLine int    `json:"startLine"`
+	StartCol  int    `json:"startCol"`
+	EndLine   int    `json:"endLine"`
+	EndCol    int    `json:"endCol"`
+	NewText   string `json:"newText"`
 }
 
 // jsonWaiver is one //lint:allow comment in `gatherlint -json` output; a
@@ -57,14 +81,92 @@ type jsonReport struct {
 	Waivers     []jsonWaiver     `json:"waivers"`
 }
 
+// A baselineSet is the accepted-debt view of a previous -json report: a
+// multiset of (file basename, analyzer, message) keys. Line numbers are
+// deliberately excluded — unrelated edits shift them — and the count per
+// key bounds how many identical findings the baseline absorbs, so an
+// additional identical finding in the same file still fails.
+type baselineSet struct {
+	counts map[string]int
+	seen   map[string]int
+}
+
+// loadBaseline parses a previous -json report; "" means no baseline
+// (every finding is new).
+func loadBaseline(path string) (*baselineSet, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	b := &baselineSet{counts: map[string]int{}, seen: map[string]int{}}
+	for _, d := range rep.Diagnostics {
+		b.counts[baselineKey(d)]++
+	}
+	return b, nil
+}
+
+func baselineKey(d jsonDiagnostic) string {
+	return filepath.Base(d.File) + "\x00" + d.Analyzer + "\x00" + d.Message
+}
+
+// matches consumes one baseline slot for d's key, reporting whether one
+// was available. A nil receiver (no -baseline) matches nothing.
+func (b *baselineSet) matches(d jsonDiagnostic) bool {
+	if b == nil {
+		return false
+	}
+	k := baselineKey(d)
+	b.seen[k]++
+	return b.seen[k] <= b.counts[k]
+}
+
+// renderFix converts a framework suggested fix into report form.
+func renderFix(fset *token.FileSet, fix *framework.SuggestedFix) *jsonFix {
+	if fix == nil {
+		return nil
+	}
+	out := &jsonFix{Message: fix.Message}
+	for _, e := range fix.Edits {
+		start := fset.Position(e.Pos)
+		end := fset.Position(e.End)
+		out.Edits = append(out.Edits, jsonEdit{
+			File:      start.Filename,
+			StartLine: start.Line,
+			StartCol:  start.Column,
+			EndLine:   end.Line,
+			EndCol:    end.Column,
+			NewText:   e.NewText,
+		})
+	}
+	return out
+}
+
 // runStandalone drives the analyzers over package patterns without go
 // vet: `go list -export -deps -json` supplies the same dependency export
 // data a vet.cfg would. Every in-module package on the import graph is
 // type-checked in dependency order so its function summaries and
 // //gather:* annotations flow to dependents exactly as vettool fact
 // files would carry them.
-func runStandalone(patterns []string, jsonOut bool) int {
-	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+func runStandalone(patterns []string, jsonOut bool, tags, baselinePath string) int {
+	base, err := loadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gatherlint: %v\n", err)
+		return 1
+	}
+	args := []string{"list", "-export", "-deps", "-json"}
+	if tags != "" {
+		args = append(args, "-tags", tags)
+	}
+	args = append(args, patterns...)
+	// exec inherits the environment, so GOFLAGS (-tags=..., -mod=...)
+	// shapes the package resolution exactly as it would a build.
 	cmd := exec.Command("go", args...)
 	var out bytes.Buffer
 	cmd.Stdout = &out
@@ -128,6 +230,7 @@ func runStandalone(patterns []string, jsonOut bool) int {
 
 	var rep jsonReport
 	exit := 0
+	baselined := 0
 
 	// go list -deps prints dependencies before dependents, so by the time
 	// a package is type-checked every in-module dep already has summaries.
@@ -174,17 +277,29 @@ func runStandalone(patterns []string, jsonOut bool) int {
 			fmt.Fprintf(os.Stderr, "gatherlint: %v\n", err)
 			return 1
 		}
-		if jsonOut {
-			for _, d := range diags {
-				pos := fset.Position(d.Pos)
-				rep.Diagnostics = append(rep.Diagnostics, jsonDiagnostic{
-					File:     pos.Filename,
-					Line:     pos.Line,
-					Column:   pos.Column,
-					Analyzer: d.Analyzer,
-					Message:  d.Message,
-				})
+		newCount := 0
+		recs := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			rec := jsonDiagnostic{
+				File:         pos.Filename,
+				Line:         pos.Line,
+				Column:       pos.Column,
+				Analyzer:     d.Analyzer,
+				Message:      d.Message,
+				SuggestedFix: renderFix(fset, d.Fix),
 			}
+			rec.Baselined = base.matches(rec)
+			if !rec.Baselined {
+				newCount++
+			}
+			recs = append(recs, rec)
+		}
+		if newCount > 0 && exit < 2 {
+			exit = 2
+		}
+		if jsonOut {
+			rep.Diagnostics = append(rep.Diagnostics, recs...)
 			for _, w := range framework.ScanSuppressions(fset, files).List() {
 				pos := fset.Position(w.Pos)
 				rep.Waivers = append(rep.Waivers, jsonWaiver{
@@ -194,14 +309,18 @@ func runStandalone(patterns []string, jsonOut bool) int {
 					Reason:   w.Reason,
 				})
 			}
-			if len(diags) > 0 && exit < 2 {
-				exit = 2
-			}
 			continue
 		}
-		if code := report(fset, diags); code > exit {
-			exit = code
+		for _, rec := range recs {
+			if rec.Baselined {
+				baselined++
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", rec.File, rec.Line, rec.Column, rec.Analyzer, rec.Message)
 		}
+	}
+	if baselined > 0 {
+		fmt.Fprintf(os.Stderr, "gatherlint: %d baselined finding(s) suppressed (see %s)\n", baselined, baselinePath)
 	}
 
 	if jsonOut {

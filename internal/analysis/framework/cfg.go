@@ -1,0 +1,622 @@
+// Statement-level control-flow graph and must-hold lock-set dataflow.
+//
+// PR 6's lockcheck and PR 7's summary lock pass modelled mutex regions
+// lexically: a branch body inherited a *copy* of the held set and the
+// state after the branch was whatever the straight-line walk said —
+// which made an early non-deferred Unlock in one arm invisible at the
+// join, flagging code that provably runs unlocked. This file replaces
+// the lexical model with the standard forward must-analysis: basic
+// blocks over ast.Stmt, a transfer function that applies
+// Lock/RLock/Unlock/RUnlock in evaluation order (deferred unlocks keep
+// the lock held to function end), and intersection at joins, so a lock
+// is reported held at a node only when it is held on *every* path
+// reaching it. TryLock is condition-sensitive: `if mu.TryLock() { ... }`
+// holds the lock only inside the guarded branch (and `if !mu.TryLock()
+// { return }` holds it after the if).
+//
+// The dataflow is deliberately must (intersection) rather than may:
+// lockcheck wants "definitely held" to flag blocking work under a lock,
+// and racecheck wants the same to *accept* a guarded access — both err
+// toward the safe side when paths disagree.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A LockMode is the strength of a held lock: HeldW (Lock) subsumes
+// HeldR (RLock).
+type LockMode uint8
+
+const (
+	// HeldR is a shared read hold (RLock / TryRLock).
+	HeldR LockMode = iota + 1
+	// HeldW is an exclusive hold (Lock / TryLock).
+	HeldW
+)
+
+// A LockSet maps lock identities to the strongest mode that is
+// must-held — held on every control-flow path reaching the point.
+type LockSet map[string]LockMode
+
+// Empty reports whether no lock is held.
+func (s LockSet) Empty() bool { return len(s) == 0 }
+
+// Holds reports whether id is held in any mode.
+func (s LockSet) Holds(id string) bool { _, ok := s[id]; return ok }
+
+// HoldsWrite reports whether id is held exclusively.
+func (s LockSet) HoldsWrite(id string) bool { return s[id] == HeldW }
+
+// Names returns the held lock identities, sorted.
+func (s LockSet) Names() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Annotated renders the set for summary facts: sorted identities, read
+// holds suffixed ":r" ("shard:r" means shard is RLocked).
+func (s LockSet) Annotated() []string {
+	out := make([]string, 0, len(s))
+	for k, m := range s {
+		if m == HeldR {
+			out = append(out, k+":r")
+		} else {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone copies the set; visit callbacks receive a transient LockSet and
+// must Clone it to retain it.
+func (s LockSet) Clone() LockSet {
+	out := make(LockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// HeldListHolds interprets an Annotated()-rendered held list (the form
+// stored in summary facts): whether lock is present, and in write mode
+// when write is required.
+func HeldListHolds(held []string, lock string, write bool) bool {
+	for _, h := range held {
+		if h == lock {
+			return true
+		}
+		if !write && strings.TrimSuffix(h, ":r") == lock {
+			return true
+		}
+	}
+	return false
+}
+
+// A LockResolver classifies a call as a lock operation. It returns the
+// lock's identity and one of "Lock", "RLock", "Unlock", "RUnlock",
+// "TryLock", "TryRLock" — or ("", "") when the call is not a lock
+// operation on a nameable lock.
+type LockResolver func(call *ast.CallExpr) (id, op string)
+
+// SyncLockResolver returns a LockResolver recognising the sync.Mutex /
+// sync.RWMutex method set, naming the receiver through name (return ""
+// to leave a receiver untracked).
+func SyncLockResolver(info *types.Info, name func(recv ast.Expr) string) LockResolver {
+	return func(call *ast.CallExpr) (string, string) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return "", ""
+		}
+		op := sel.Sel.Name
+		switch op {
+		case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		default:
+			return "", ""
+		}
+		fn := calleeFuncObj(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return "", ""
+		}
+		id := name(sel.X)
+		if id == "" {
+			return "", ""
+		}
+		return id, op
+	}
+}
+
+// WalkHeld runs the lock-set dataflow over body and invokes visit for
+// every node of every reachable statement, in approximate evaluation
+// order, with the must-hold LockSet at that node. Function literals are
+// visited as single nodes but not entered: a literal's body runs on its
+// own goroutine (go/defer) or at an unknown time, so consumers recurse
+// with WalkHeld(lit.Body, ...) themselves when a fresh lock state is
+// the right model. Lock operations inside defer statements are not
+// applied (defer mu.Unlock() keeps the region open to function end);
+// unreachable blocks are skipped.
+func WalkHeld(body *ast.BlockStmt, resolve LockResolver, visit func(n ast.Node, held LockSet)) {
+	g := buildCFG(body)
+	ins, reached := solveLockFlow(g, resolve)
+	for i, b := range g.blocks {
+		if !reached[i] {
+			continue
+		}
+		set := ins[i].Clone()
+		applyAssume(b, set, resolve)
+		for _, n := range b.nodes {
+			runLockNode(n, set, resolve, visit)
+		}
+	}
+}
+
+// A cfgBlock is one basic block: straight-line nodes (statements, or
+// the condition/tag expressions the builder peeled off control
+// statements) and successor edges.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+	// assume, when set, is a call (validated as TryLock/TryRLock at
+	// solve time) whose success is implied by entering this block: the
+	// then-branch of `if mu.TryLock()`, or the join after
+	// `if !mu.TryLock() { return }` (the builder hangs the assumption
+	// on the else block, so a falling-through then-branch still kills
+	// it at the join by intersection).
+	assume *ast.CallExpr
+	index  int
+}
+
+type cfg struct {
+	blocks []*cfgBlock
+	labels map[string]*cfgBlock
+}
+
+// loopCtx is one enclosing breakable construct during the build.
+type loopCtx struct {
+	label string
+	brk   *cfgBlock // break target (nil never; all breakables have one)
+	cont  *cfgBlock // continue target; nil for switch/select
+}
+
+type cfgBuilder struct {
+	g     *cfg
+	cur   *cfgBlock
+	loops []loopCtx
+	// ftTarget is the entry block of the next switch clause, the target
+	// of a fallthrough statement; nil outside a switch clause or in the
+	// last clause.
+	ftTarget *cfgBlock
+	// pendingLabel is the label naming the next loop/switch statement,
+	// consumed by the construct it labels.
+	pendingLabel string
+}
+
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{g: &cfg{labels: map[string]*cfgBlock{}}}
+	b.cur = b.newBlock()
+	b.stmts(body.List)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+// labelBlock returns (creating on demand) the block a label names, so
+// goto can target labels that appear later in the source.
+func (b *cfgBuilder) labelBlock(name string) *cfgBlock {
+	if blk, ok := b.g.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.g.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(st.List)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, st.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, st.Cond)
+		head := b.cur
+		thenB := b.newBlock()
+		elseB := b.newBlock()
+		edge(head, thenB)
+		edge(head, elseB)
+		if call := unparenCall(st.Cond); call != nil {
+			thenB.assume = call
+		} else if call := negatedCall(st.Cond); call != nil {
+			elseB.assume = call
+		}
+		b.cur = thenB
+		b.stmts(st.Body.List)
+		thenEnd := b.cur
+		b.cur = elseB
+		if st.Else != nil {
+			b.stmt(st.Else)
+		}
+		elseEnd := b.cur
+		after := b.newBlock()
+		edge(thenEnd, after)
+		edge(elseEnd, after)
+		b.cur = after
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, st.Init)
+		}
+		head := b.newBlock()
+		edge(b.cur, head)
+		if st.Cond != nil {
+			head.nodes = append(head.nodes, st.Cond)
+		}
+		bodyB := b.newBlock()
+		after := b.newBlock()
+		edge(head, bodyB)
+		if st.Cond != nil {
+			edge(head, after)
+		}
+		cont := head
+		var postB *cfgBlock
+		if st.Post != nil {
+			postB = b.newBlock()
+			postB.nodes = append(postB.nodes, st.Post)
+			edge(postB, head)
+			cont = postB
+		}
+		b.loops = append(b.loops, loopCtx{label: label, brk: after, cont: cont})
+		b.cur = bodyB
+		b.stmts(st.Body.List)
+		edge(b.cur, cont)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.cur.nodes = append(b.cur.nodes, st.X)
+		head := b.newBlock()
+		edge(b.cur, head)
+		if st.Key != nil {
+			head.nodes = append(head.nodes, st.Key)
+		}
+		if st.Value != nil {
+			head.nodes = append(head.nodes, st.Value)
+		}
+		bodyB := b.newBlock()
+		after := b.newBlock()
+		edge(head, bodyB)
+		edge(head, after)
+		b.loops = append(b.loops, loopCtx{label: label, brk: after, cont: head})
+		b.cur = bodyB
+		b.stmts(st.Body.List)
+		edge(b.cur, head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				b.cur.nodes = append(b.cur.nodes, sw.Init)
+			}
+			if sw.Tag != nil {
+				b.cur.nodes = append(b.cur.nodes, sw.Tag)
+			}
+			body = sw.Body
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				b.cur.nodes = append(b.cur.nodes, sw.Init)
+			}
+			b.cur.nodes = append(b.cur.nodes, sw.Assign)
+			body = sw.Body
+		}
+		head := b.cur
+		after := b.newBlock()
+		var clauses []*ast.CaseClause
+		for _, c := range body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				clauses = append(clauses, cc)
+			}
+		}
+		entries := make([]*cfgBlock, len(clauses))
+		hasDefault := false
+		for i, cc := range clauses {
+			entries[i] = b.newBlock()
+			edge(head, entries[i])
+			if cc.List == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			edge(head, after)
+		}
+		savedFT := b.ftTarget
+		for i, cc := range clauses {
+			b.cur = entries[i]
+			for _, e := range cc.List {
+				b.cur.nodes = append(b.cur.nodes, e)
+			}
+			if i+1 < len(clauses) {
+				b.ftTarget = entries[i+1]
+			} else {
+				b.ftTarget = nil
+			}
+			b.loops = append(b.loops, loopCtx{label: label, brk: after})
+			b.stmts(cc.Body)
+			b.loops = b.loops[:len(b.loops)-1]
+			edge(b.cur, after)
+		}
+		b.ftTarget = savedFT
+		b.cur = after
+
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			clauseB := b.newBlock()
+			edge(head, clauseB)
+			if cc.Comm != nil {
+				clauseB.nodes = append(clauseB.nodes, cc.Comm)
+			}
+			b.cur = clauseB
+			b.loops = append(b.loops, loopCtx{label: label, brk: after})
+			b.stmts(cc.Body)
+			b.loops = b.loops[:len(b.loops)-1]
+			edge(b.cur, after)
+		}
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		target := b.labelBlock(st.Label.Name)
+		edge(b.cur, target)
+		b.cur = target
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(st.Label, false); t != nil {
+				edge(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(st.Label, true); t != nil {
+				edge(b.cur, t)
+			}
+		case token.GOTO:
+			if st.Label != nil {
+				edge(b.cur, b.labelBlock(st.Label.Name))
+			}
+		case token.FALLTHROUGH:
+			if b.ftTarget != nil {
+				edge(b.cur, b.ftTarget)
+			}
+		}
+		b.cur = b.newBlock() // following code is unreachable
+
+	case *ast.ReturnStmt:
+		b.cur.nodes = append(b.cur.nodes, st)
+		b.cur = b.newBlock()
+
+	default:
+		b.cur.nodes = append(b.cur.nodes, s)
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && isTerminatingCall(call) {
+				b.cur = b.newBlock()
+			}
+		}
+	}
+}
+
+// branchTarget resolves a break/continue to the matching enclosing
+// construct's after/head block.
+func (b *cfgBuilder) branchTarget(label *ast.Ident, isContinue bool) *cfgBlock {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := b.loops[i]
+		if label != nil && lc.label != label.Name {
+			continue
+		}
+		if isContinue {
+			if lc.cont == nil {
+				continue // switch/select does not capture continue
+			}
+			return lc.cont
+		}
+		return lc.brk
+	}
+	return nil
+}
+
+// unparenCall returns e as a call when the whole condition is one.
+func unparenCall(e ast.Expr) *ast.CallExpr {
+	call, _ := ast.Unparen(e).(*ast.CallExpr)
+	return call
+}
+
+// negatedCall returns the call inside a `!call()` condition.
+func negatedCall(e ast.Expr) *ast.CallExpr {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.NOT {
+		return nil
+	}
+	return unparenCall(u.X)
+}
+
+// solveLockFlow runs the forward must-hold fixpoint: entry starts
+// empty, edges meet by intersection (write meets read to read), and a
+// block's in-state is only defined once some processed predecessor
+// reaches it — unreached blocks stay undefined (⊤) and are skipped.
+func solveLockFlow(g *cfg, resolve LockResolver) ([]LockSet, []bool) {
+	n := len(g.blocks)
+	ins := make([]LockSet, n)
+	reached := make([]bool, n)
+	if n == 0 {
+		return ins, reached
+	}
+	reached[0] = true
+	ins[0] = LockSet{}
+	work := []int{0}
+	inWork := make([]bool, n)
+	inWork[0] = true
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		inWork[i] = false
+		b := g.blocks[i]
+		out := ins[i].Clone()
+		applyAssume(b, out, resolve)
+		for _, node := range b.nodes {
+			runLockNode(node, out, resolve, nil)
+		}
+		for _, succ := range b.succs {
+			j := succ.index
+			changed := false
+			if !reached[j] {
+				reached[j] = true
+				ins[j] = out.Clone()
+				changed = true
+			} else if meetInto(ins[j], out) {
+				changed = true
+			}
+			if changed && !inWork[j] {
+				inWork[j] = true
+				work = append(work, j)
+			}
+		}
+	}
+	return ins, reached
+}
+
+// meetInto intersects dst with src in place (mode-wise minimum) and
+// reports whether dst changed.
+func meetInto(dst, src LockSet) bool {
+	changed := false
+	for k, dm := range dst {
+		sm, ok := src[k]
+		if !ok {
+			delete(dst, k)
+			changed = true
+			continue
+		}
+		if sm < dm {
+			dst[k] = sm
+			changed = true
+		}
+	}
+	return changed
+}
+
+// applyAssume applies a block's TryLock assumption when the resolver
+// confirms the call is one.
+func applyAssume(b *cfgBlock, set LockSet, resolve LockResolver) {
+	if b.assume == nil {
+		return
+	}
+	id, op := resolve(b.assume)
+	switch op {
+	case "TryLock":
+		set[id] = HeldW
+	case "TryRLock":
+		if set[id] < HeldW {
+			set[id] = HeldR
+		}
+	}
+}
+
+// runLockNode walks one block node in pre-order, invoking visit (when
+// non-nil) with the evolving held set and applying lock operations as
+// they are encountered. Function-literal interiors are not entered;
+// lock operations under defer are not applied (a TryLock in plain
+// statement position is also not applied — its result was discarded,
+// so success cannot be assumed).
+func runLockNode(n ast.Node, set LockSet, resolve LockResolver, visit func(ast.Node, LockSet)) {
+	deferred := deferredCalls(n)
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if visit != nil {
+			visit(m, set)
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && !deferred[call] {
+			if id, op := resolve(call); op != "" {
+				switch op {
+				case "Lock":
+					set[id] = HeldW
+				case "RLock":
+					if set[id] < HeldW {
+						set[id] = HeldR
+					}
+				case "Unlock", "RUnlock":
+					delete(set, id)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// deferredCalls collects the calls under defer statements within n
+// (excluding function-literal interiors), whose lock operations must
+// not mutate the flow state.
+func deferredCalls(n ast.Node) map[*ast.CallExpr]bool {
+	var out map[*ast.CallExpr]bool
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			ast.Inspect(x.Call, func(c ast.Node) bool {
+				if _, ok := c.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := c.(*ast.CallExpr); ok {
+					if out == nil {
+						out = map[*ast.CallExpr]bool{}
+					}
+					out[call] = true
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return out
+}

@@ -75,11 +75,38 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportfFix records a diagnostic at pos carrying a machine-applicable
+// suggested fix (surfaced by the -json report mode).
+func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
 // A Diagnostic is one finding.
 type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// Fix, when non-nil, is a machine-applicable repair for the finding.
+	Fix *SuggestedFix
+}
+
+// A SuggestedFix is a set of edits that repairs the finding. Edits are
+// non-overlapping; an edit with Pos == End is an insertion.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// A TextEdit replaces [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // Annotations are the //gather:* markers of a package set. Keys are
@@ -108,6 +135,12 @@ type Annotations struct {
 	// field path "<pkgpath>.<Type>.<Field>", the value the canonical lock
 	// name declared with //gather:lock <name> (consumed by lockorder).
 	Locks map[string]string
+	// GuardedBy maps a field path "<pkgpath>.<Type>.<Field>" to the name
+	// of the //gather:lock that must be held to touch it, declared with
+	// //gather:guardedby <lock> (enforced by racecheck). The guard may
+	// live in another package: a field guarded by a lock its own package
+	// cannot see is checked at the call sites of the packages that can.
+	GuardedBy map[string]string
 }
 
 // NewAnnotations returns an empty annotation set.
@@ -118,6 +151,7 @@ func NewAnnotations() *Annotations {
 		Blocking:  map[string]bool{},
 		Hotpath:   map[string]bool{},
 		Locks:     map[string]string{},
+		GuardedBy: map[string]string{},
 	}
 }
 
@@ -141,12 +175,16 @@ func (a *Annotations) Merge(other *Annotations) {
 	for k, v := range other.Locks {
 		a.Locks[k] = v
 	}
+	for k, v := range other.GuardedBy {
+		a.GuardedBy[k] = v
+	}
 }
 
 // Empty reports whether a carries no annotations.
 func (a *Annotations) Empty() bool {
 	return len(a.Immutable) == 0 && len(a.Attached) == 0 &&
-		len(a.Blocking) == 0 && len(a.Hotpath) == 0 && len(a.Locks) == 0
+		len(a.Blocking) == 0 && len(a.Hotpath) == 0 && len(a.Locks) == 0 &&
+		len(a.GuardedBy) == 0
 }
 
 // The annotation directives. Like //go:build directives they must start
@@ -157,6 +195,7 @@ const (
 	dirBlocking  = "//gather:blocking"
 	dirHotpath   = "//gather:hotpath"
 	dirLock      = "//gather:lock"
+	dirGuardedBy = "//gather:guardedby"
 )
 
 // hasDirective reports whether the comment group contains the directive
@@ -232,6 +271,15 @@ func (a *Annotations) ScanFile(pkgpath string, file *ast.File) {
 					if lockName != "" {
 						for _, name := range f.Names {
 							a.Locks[typeKey+"."+name.Name] = lockName
+						}
+					}
+					guard := directiveArg(f.Doc, dirGuardedBy)
+					if guard == "" {
+						guard = directiveArg(f.Comment, dirGuardedBy)
+					}
+					if guard != "" {
+						for _, name := range f.Names {
+							a.GuardedBy[typeKey+"."+name.Name] = guard
 						}
 					}
 				}
@@ -327,6 +375,7 @@ type Facts struct {
 	Blocking  []string          `json:"blocking,omitempty"`
 	Hotpath   []string          `json:"hotpath,omitempty"`
 	Locks     map[string]string `json:"locks,omitempty"`
+	GuardedBy map[string]string `json:"guardedBy,omitempty"`
 	// Summaries carries one FuncSummary per function, keyed like
 	// function annotations. Waived allocation sites are dropped before
 	// encoding: a dependency's waiver must silence dependent reports too.
@@ -345,6 +394,9 @@ func EncodeFacts(a *Annotations, sums map[string]*FuncSummary) ([]byte, error) {
 	}
 	if len(a.Locks) > 0 {
 		f.Locks = a.Locks
+	}
+	if len(a.GuardedBy) > 0 {
+		f.GuardedBy = a.GuardedBy
 	}
 	return json.Marshal(f)
 }
@@ -377,6 +429,9 @@ func DecodeFacts(data []byte) (*Annotations, map[string]*FuncSummary, error) {
 	}
 	for k, v := range f.Locks {
 		a.Locks[k] = v
+	}
+	for k, v := range f.GuardedBy {
+		a.GuardedBy[k] = v
 	}
 	for k, s := range f.Summaries {
 		if s != nil {

@@ -23,9 +23,10 @@
 //   - detachcheck extends its taint with ReturnsAttached / ParamToReturn
 //     / ParamSinks, so attachment flows through helper calls.
 //
-// Everything is an over-approximation on lexical structure (branch copies
-// of lock sets, no escape analysis), in line with the rest of gatherlint:
-// precise enough to be quiet on this repo, simple enough to audit.
+// Everything is an over-approximation, in line with the rest of
+// gatherlint: lock sets come from the CFG must-hold dataflow (cfg.go),
+// the rest from lexical structure — precise enough to be quiet on this
+// repo, simple enough to audit.
 package framework
 
 import (
@@ -34,7 +35,7 @@ import (
 	"go/token"
 	"go/types"
 	"path/filepath"
-	"sort"
+	"strings"
 )
 
 // An AllocSite is one allocation-introducing construct in a function
@@ -52,6 +53,12 @@ type AllocSite struct {
 	// the framework) but are dropped from exported facts, so a
 	// dependency's reasoned waiver silences dependent reports too.
 	Waived bool `json:"-"`
+	// FixEnd/FixText describe a machine-applicable repair of the site —
+	// replace source [Pos, FixEnd) with FixText (today: presizing an
+	// unsized make(map)). Local-only: positions are meaningless in
+	// another process.
+	FixEnd  token.Pos `json:"-"`
+	FixText string    `json:"-"`
 }
 
 // A CallSite is one static call edge out of a function.
@@ -89,6 +96,24 @@ type HeldCall struct {
 	Pos    token.Pos `json:"-"`
 }
 
+// A FieldAccess is one read or write of a field belonging to a
+// lock-owning struct (a struct declaring a //gather:lock or a
+// //gather:guardedby field), with the must-hold lock set at the access.
+// Held uses the LockSet.Annotated rendering: a plain name is an
+// exclusive hold, a ":r" suffix a read hold. racecheck checks these
+// against the field's guard — in the owning package directly, and at
+// the departing call site for cross-package accesses.
+type FieldAccess struct {
+	Field string    `json:"field"`
+	Write bool      `json:"write,omitempty"`
+	Held  []string  `json:"held,omitempty"`
+	Loc   string    `json:"loc,omitempty"`
+	Pos   token.Pos `json:"-"`
+	// Waived marks an access carrying a //lint:allow racecheck waiver;
+	// like waived alloc sites it is dropped from exported facts.
+	Waived bool `json:"-"`
+}
+
 // A FuncSummary is the interprocedural fact computed for one function,
 // keyed like function annotations ("<pkgpath>.<Func>" or
 // "<pkgpath>.<Type>.<Method>").
@@ -111,6 +136,9 @@ type FuncSummary struct {
 	Edges []LockEdge `json:"edges,omitempty"`
 	// CallsHolding are calls made with at least one lock held.
 	CallsHolding []HeldCall `json:"callsHolding,omitempty"`
+	// FieldAccesses are the body's reads/writes of lock-owning struct
+	// fields with the must-hold set at each site (consumed by racecheck).
+	FieldAccesses []FieldAccess `json:"fieldAccesses,omitempty"`
 
 	// NoEscapeParams indexes function-typed parameters that are only
 	// ever called (or passed on to parameters that are themselves
@@ -176,6 +204,14 @@ func exportSummaries(sums map[string]*FuncSummary) map[string]*FuncSummary {
 		c.CallsHolding = append([]HeldCall(nil), s.CallsHolding...)
 		for i := range c.CallsHolding {
 			scrub(&c.CallsHolding[i].Pos)
+		}
+		c.FieldAccesses = nil
+		for _, fa := range s.FieldAccesses {
+			if fa.Waived {
+				continue
+			}
+			fa.Pos = token.NoPos
+			c.FieldAccesses = append(c.FieldAccesses, fa)
 		}
 		out[k] = &c
 	}
@@ -433,8 +469,7 @@ func (sc *sumCtx) paramOnlyCalled(fd *ast.FuncDecl, obj types.Object) bool {
 func (sc *sumCtx) structural(fd *ast.FuncDecl, s *FuncSummary) {
 	sc.collectCalls(fd, s)
 	sc.collectAllocs(fd, s)
-	lw := &lockWalker{sc: sc, s: s}
-	lw.block(fd.Body, map[string]token.Pos{})
+	sc.lockFlow(fd, s)
 	sc.collectTermination(fd, s)
 }
 
@@ -494,6 +529,13 @@ func (sc *sumCtx) collectAllocs(fd *ast.FuncDecl, s *FuncSummary) {
 					if _, okb := obj.(*types.Builtin); okb && id.Name == "make" {
 						if unsizedMakeMap(sc.info, x) {
 							record(x.Pos(), "makemap", "")
+							// Machine-applicable repair: presize the map.
+							// 16 is a placeholder hint for the author to
+							// tune; any non-zero hint skips the first
+							// growth doublings.
+							site := &s.Allocs[len(s.Allocs)-1]
+							site.FixEnd = x.End()
+							site.FixText = fmt.Sprintf("make(%s, 16)", types.ExprString(x.Args[0]))
 						}
 					}
 				}
@@ -734,207 +776,283 @@ func calleeIdentOf(call *ast.CallExpr) (*ast.Ident, bool) {
 }
 
 // ---------------------------------------------------------------------
-// Lock walker: named acquisitions, order edges, calls made under locks.
+// Lock flow: named acquisitions, order edges, calls and field accesses
+// under locks — all driven by the CFG must-hold dataflow (cfg.go), so
+// an early non-deferred Unlock in one branch kills the lock at the
+// join instead of leaking it lexically.
 
-// lockWalker tracks the lexically held set of named locks through one
-// function body, mirroring lockcheck's region model (branch bodies get a
-// copy; defer Unlock keeps the lock held; go literals start fresh).
-type lockWalker struct {
-	sc *sumCtx
-	s  *FuncSummary
-}
-
-func (lw *lockWalker) block(b *ast.BlockStmt, held map[string]token.Pos) {
-	for _, stmt := range b.List {
-		lw.stmt(stmt, held)
-	}
-}
-
-func (lw *lockWalker) stmt(stmt ast.Stmt, held map[string]token.Pos) {
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if id, op := lw.lockOp(call); op != "" {
-				switch op {
-				case "Lock", "RLock":
-					lw.acquire(id, call.Pos(), held)
-				case "Unlock", "RUnlock":
-					delete(held, id)
-				}
-				return
-			}
-		}
-		lw.expr(s.X, held)
-	case *ast.DeferStmt:
-		// defer x.Unlock() keeps the region open to the end, which is the
-		// model we want; other deferred calls run under whatever is held
-		// at exit — approximate with the current held set.
-		if _, op := lw.lockOp(s.Call); op == "" {
-			lw.expr(s.Call, held)
-		}
-	case *ast.GoStmt:
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			lw.block(lit.Body, map[string]token.Pos{})
-		}
-	case *ast.SendStmt:
-		lw.expr(s.Chan, held)
-		lw.expr(s.Value, held)
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			lw.expr(e, held)
-		}
-		for _, e := range s.Lhs {
-			lw.expr(e, held)
-		}
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			lw.expr(e, held)
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			lw.stmt(s.Init, held)
-		}
-		lw.expr(s.Cond, held)
-		lw.block(s.Body, copyHeldPos(held))
-		if s.Else != nil {
-			lw.stmt(s.Else, copyHeldPos(held))
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			lw.stmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			lw.expr(s.Cond, held)
-		}
-		lw.block(s.Body, copyHeldPos(held))
-	case *ast.RangeStmt:
-		lw.expr(s.X, held)
-		lw.block(s.Body, copyHeldPos(held))
-	case *ast.BlockStmt:
-		lw.block(s, held)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			lw.stmt(s.Init, held)
-		}
-		lw.caseBodies(s.Body, held)
-	case *ast.TypeSwitchStmt:
-		lw.caseBodies(s.Body, held)
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				h := copyHeldPos(held)
-				if cc.Comm != nil {
-					lw.stmt(cc.Comm, h)
-				}
-				for _, st := range cc.Body {
-					lw.stmt(st, h)
-				}
-			}
-		}
-	case *ast.LabeledStmt:
-		lw.stmt(s.Stmt, held)
-	}
-}
-
-func (lw *lockWalker) caseBodies(body *ast.BlockStmt, held map[string]token.Pos) {
-	for _, c := range body.List {
-		if cc, ok := c.(*ast.CaseClause); ok {
-			h := copyHeldPos(held)
-			for _, st := range cc.Body {
-				lw.stmt(st, h)
-			}
-		}
-	}
-}
-
-// expr records calls made under the held set and walks nested literals
-// with a fresh one.
-func (lw *lockWalker) expr(e ast.Expr, held map[string]token.Pos) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.FuncLit:
-			lw.block(x.Body, map[string]token.Pos{})
-			return false
-		case *ast.CallExpr:
-			if id, op := lw.lockOp(x); op != "" {
-				// Lock calls in expression position (rare); model them.
-				switch op {
-				case "Lock", "RLock":
-					lw.acquire(id, x.Pos(), held)
-				case "Unlock", "RUnlock":
-					delete(held, id)
-				}
-				return true
-			}
-			if len(held) == 0 {
-				return true
-			}
-			key := lw.sc.calleeKey(x)
-			if key == "" {
-				return true
-			}
-			names := make([]string, 0, len(held))
-			for h := range held {
-				names = append(names, h)
-			}
-			sort.Strings(names)
-			lw.s.CallsHolding = append(lw.s.CallsHolding, HeldCall{
-				Callee: key, Held: names, Loc: lw.sc.loc(x.Pos()), Pos: x.Pos(),
-			})
+// lockFlow walks fd.Body with WalkHeld, recording lock acquisitions
+// (with the order edges the pre-acquire held set implies), calls made
+// while holding locks, and every access to a field of a lock-owning
+// struct together with the must-hold set at the access. Function
+// literals are walked with a fresh lock state (they run on another
+// goroutine or at an unknown time); their findings attach to the
+// enclosing declaration's summary.
+func (sc *sumCtx) lockFlow(fd *ast.FuncDecl, s *FuncSummary) {
+	resolve := SyncLockResolver(sc.info, func(x ast.Expr) string {
+		return LockIdentity(sc.info, sc.ann, x)
+	})
+	owners := lockOwnerTypes(sc.ann)
+	writes := writtenSelectors(fd.Body)
+	ctors := compositeLocals(sc.info, fd.Body)
+	goCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			goCalls[g.Call] = true
 		}
 		return true
 	})
+	var walk func(body *ast.BlockStmt)
+	walk = func(body *ast.BlockStmt) {
+		deferred := deferredCalls(body)
+		WalkHeld(body, resolve, func(n ast.Node, held LockSet) {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				walk(x.Body)
+			case *ast.CallExpr:
+				if id, op := resolve(x); op != "" {
+					if (op == "Lock" || op == "RLock") && !deferred[x] {
+						sc.recordAcquire(s, id, x.Pos(), held)
+					}
+					return
+				}
+				if held.Empty() || goCalls[x] {
+					// A go statement's call runs on a goroutine that
+					// does not inherit the spawner's locks: no held-call
+					// edge.
+					return
+				}
+				key := sc.calleeKey(x)
+				if key == "" {
+					return
+				}
+				s.CallsHolding = append(s.CallsHolding, HeldCall{
+					Callee: key, Held: held.Names(), Loc: sc.loc(x.Pos()), Pos: x.Pos(),
+				})
+			case *ast.SelectorExpr:
+				sc.recordFieldAccess(s, x, held, owners, writes, ctors)
+			}
+		})
+	}
+	walk(fd.Body)
 }
 
-// acquire records a named acquisition and the order edges it implies.
-func (lw *lockWalker) acquire(lock string, pos token.Pos, held map[string]token.Pos) {
-	lw.s.Acquires = append(lw.s.Acquires, LockSite{Lock: lock, Loc: lw.sc.loc(pos), Pos: pos})
-	for from := range held {
+// recordAcquire appends a named acquisition and the order edges the
+// pre-acquire held set implies.
+func (sc *sumCtx) recordAcquire(s *FuncSummary, lock string, pos token.Pos, held LockSet) {
+	s.Acquires = append(s.Acquires, LockSite{Lock: lock, Loc: sc.loc(pos), Pos: pos})
+	for _, from := range held.Names() {
 		if from == lock {
 			continue
 		}
-		lw.s.Edges = append(lw.s.Edges, LockEdge{
-			From: from, To: lock, Fn: lw.s.Key, Loc: lw.sc.loc(pos), Pos: pos,
+		s.Edges = append(s.Edges, LockEdge{
+			From: from, To: lock, Fn: s.Key, Loc: sc.loc(pos), Pos: pos,
 		})
 	}
-	held[lock] = pos
 }
 
-// lockOp recognises x.Lock / x.Unlock / x.RLock / x.RUnlock on
-// sync.Mutex/RWMutex and resolves the receiver to a lock identity: the
-// //gather:lock name of the field when annotated, otherwise the field or
-// package-variable key. Locals and unresolvable receivers return op ""
-// (they cannot participate in a cross-function order).
-func (lw *lockWalker) lockOp(call *ast.CallExpr) (lock, op string) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
+// recordFieldAccess appends a FieldAccess when sel is a field read or
+// write of a lock-owning struct: sync/sync-atomic-typed fields are
+// skipped (the locks and atomics themselves), as are accesses rooted
+// at a local the function itself built from a composite literal — a
+// constructor initialises its own value before it is shared, no lock
+// required.
+func (sc *sumCtx) recordFieldAccess(s *FuncSummary, sel *ast.SelectorExpr, held LockSet,
+	owners map[string]bool, writes map[ast.Expr]bool, ctors map[types.Object]bool) {
+
+	selInfo := sc.info.Selections[sel]
+	if selInfo == nil || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	recv := TypeKey(selInfo.Recv())
+	if recv == "" || !owners[recv] {
+		return
+	}
+	if v, ok := selInfo.Obj().(*types.Var); ok && syncTyped(v.Type()) {
+		return
+	}
+	if root := rootObj(sc.info, sel); root != nil && ctors[root] {
+		return
+	}
+	p := sc.fset.Position(sel.Pos())
+	s.FieldAccesses = append(s.FieldAccesses, FieldAccess{
+		Field:  recv + "." + sel.Sel.Name,
+		Write:  writes[sel],
+		Held:   held.Annotated(),
+		Loc:    sc.loc(sel.Pos()),
+		Pos:    sel.Pos(),
+		Waived: sc.sup.matches(p.Filename, p.Line, "racecheck"),
+	})
+}
+
+// lockOwnerTypes returns the type keys that own a named lock or declare
+// a guarded field — the structs whose field accesses are worth
+// summarising.
+func lockOwnerTypes(ann *Annotations) map[string]bool {
+	out := map[string]bool{}
+	add := func(fieldKey string) {
+		if i := strings.LastIndex(fieldKey, "."); i > 0 {
+			out[fieldKey[:i]] = true
+		}
+	}
+	for k := range ann.Locks {
+		add(k)
+	}
+	for k := range ann.GuardedBy {
+		add(k)
+	}
+	return out
+}
+
+// syncTyped reports whether t is (a pointer to) a type declared in sync
+// or sync/atomic — mutexes, conds, atomics — which racecheck exempts:
+// they are the synchronisation, not the data.
+func syncTyped(t types.Type) bool {
+	named, ok := Deref(t).(*types.Named)
 	if !ok {
-		return "", ""
+		return false
 	}
-	name := sel.Sel.Name
-	switch name {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-	default:
-		return "", ""
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
 	}
-	fn := calleeFuncObj(lw.sc.info, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", ""
-	}
-	id := lw.sc.lockIdentity(sel.X)
-	if id == "" {
-		return "", ""
-	}
-	return id, name
+	return pkg.Path() == "sync" || pkg.Path() == "sync/atomic"
 }
 
-// lockIdentity names the mutex behind a receiver expression.
-func (sc *sumCtx) lockIdentity(x ast.Expr) string {
+// rootObj resolves the base identifier of a selector chain
+// (e.shards[i].ticks -> e), nil when the chain is rooted in a call or
+// other non-identifier.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// writtenSelectors marks the selector expressions written by body:
+// assignment targets, inc/dec operands, and address-taken operands
+// (conservatively a write — the pointer may be stored and written
+// through). Writing an element through a field (x.f[i] = v) counts as
+// a write of the field for guarding purposes.
+func writtenSelectors(body *ast.BlockStmt) map[ast.Expr]bool {
+	out := map[ast.Expr]bool{}
+	mark := func(e ast.Expr) {
+		if s := baseSelector(e); s != nil {
+			out[s] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				mark(l)
+			}
+		case *ast.IncDecStmt:
+			mark(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				mark(x.X)
+			}
+		case *ast.RangeStmt:
+			if x.Key != nil {
+				mark(x.Key)
+			}
+			if x.Value != nil {
+				mark(x.Value)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// baseSelector unwraps indexing, slicing, dereference and parens to the
+// selector a write ultimately lands on.
+func baseSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			s, _ := e.(*ast.SelectorExpr)
+			return s
+		}
+	}
+}
+
+// compositeLocals collects the locals body assigns a (pointer to a)
+// composite literal: the constructor pattern. Accesses through them
+// are unshared until the value escapes and need no guard.
+func compositeLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	fromLit := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		_, ok := e.(*ast.CompositeLit)
+		return ok
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, l := range x.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || !fromLit(x.Rhs[i]) {
+					continue
+				}
+				if o := info.Defs[id]; o != nil {
+					out[o] = true
+				} else if o := info.Uses[id]; o != nil {
+					out[o] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range x.Names {
+				if i < len(x.Values) && fromLit(x.Values[i]) {
+					if o := info.Defs[id]; o != nil {
+						out[o] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// LockIdentity names the mutex behind a receiver expression: the
+// //gather:lock name of the field when annotated, otherwise the field
+// or package-variable key; locals and unresolvable receivers return ""
+// (they cannot participate in a cross-function order).
+func LockIdentity(info *types.Info, ann *Annotations, x ast.Expr) string {
 	switch e := ast.Unparen(x).(type) {
 	case *ast.SelectorExpr:
-		selInfo := sc.info.Selections[e]
+		selInfo := info.Selections[e]
 		if selInfo == nil || selInfo.Kind() != types.FieldVal {
 			return ""
 		}
@@ -943,14 +1061,14 @@ func (sc *sumCtx) lockIdentity(x ast.Expr) string {
 			return ""
 		}
 		key += "." + e.Sel.Name
-		if name, ok := sc.ann.Locks[key]; ok {
+		if name, ok := ann.Locks[key]; ok {
 			return name
 		}
 		return key
 	case *ast.Ident:
-		obj := sc.info.Uses[e]
+		obj := info.Uses[e]
 		if obj == nil {
-			obj = sc.info.Defs[e]
+			obj = info.Defs[e]
 		}
 		v, ok := obj.(*types.Var)
 		if !ok {
@@ -958,7 +1076,7 @@ func (sc *sumCtx) lockIdentity(x ast.Expr) string {
 		}
 		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
 			key := v.Pkg().Path() + "." + v.Name()
-			if name, ok := sc.ann.Locks[key]; ok {
+			if name, ok := ann.Locks[key]; ok {
 				return name
 			}
 			return key
@@ -971,14 +1089,6 @@ func (sc *sumCtx) lockIdentity(x ast.Expr) string {
 		return ""
 	}
 	return ""
-}
-
-func copyHeldPos(held map[string]token.Pos) map[string]token.Pos {
-	out := make(map[string]token.Pos, len(held))
-	for k, v := range held {
-		out[k] = v
-	}
-	return out
 }
 
 // ---------------------------------------------------------------------

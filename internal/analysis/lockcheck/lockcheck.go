@@ -7,18 +7,22 @@
 // such as Engine.Append) couples the lock's critical section to the
 // consumer's progress — the classic shape of the ingest/query deadlock.
 //
-// The analysis tracks lock regions lexically: x.Lock()/x.RLock() opens a
-// region for the receiver expression x, x.Unlock()/x.RUnlock() closes it,
-// and a deferred unlock keeps the region open to the end of the function.
-// Within an open region a channel send or a //gather:blocking call is
-// reported. sync.Cond Wait is exempt (it releases the mutex while
-// parked), and function literals are analysed as their own functions —
-// a goroutine body does not inherit the spawner's locks.
+// Lock regions come from the framework's CFG must-hold dataflow
+// (framework.WalkHeld): a lock is held at a node only when every path
+// reaching it holds the lock, so an early non-deferred Unlock on each
+// branch releases the region at the join instead of leaking it
+// lexically, and `if mu.TryLock()` opens a region only inside the
+// success branch. Deferred unlocks keep the region open to the end of
+// the function; sync.Cond Wait is exempt (it releases the mutex while
+// parked); function literals are analysed as their own functions — a
+// goroutine body does not inherit the spawner's locks, and neither
+// does a named function launched with `go`.
 package lockcheck
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"repro/internal/analysis/framework"
 )
@@ -34,10 +38,9 @@ var Analyzer = &framework.Analyzer{
 func run(pass *framework.Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
+			if fn, ok := n.(*ast.FuncDecl); ok {
 				if fn.Body != nil {
-					checkBody(pass, fn.Body, map[string]bool{})
+					checkBody(pass, fn.Body)
 				}
 				return false // checkBody handles nested FuncLits itself
 			}
@@ -47,170 +50,47 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
-// checkBody walks one statement list with the set of held locks, keyed by
-// the rendered receiver expression ("sh.mu"). Branch bodies get a copy of
-// the held set: a lock released on one path is conservatively still held
-// on the other.
-func checkBody(pass *framework.Pass, block *ast.BlockStmt, held map[string]bool) {
-	for _, stmt := range block.List {
-		checkStmt(pass, stmt, held)
-	}
-}
-
-func checkStmt(pass *framework.Pass, stmt ast.Stmt, held map[string]bool) {
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if key, op := lockOp(pass, call); op != "" {
-				switch op {
-				case "Lock", "RLock":
-					held[key] = true
-				case "Unlock", "RUnlock":
-					delete(held, key)
-				}
-				return
-			}
+// checkBody runs the lock-set dataflow over one function (or literal)
+// body and reports channel sends and blocking calls at nodes whose
+// must-hold set is non-empty. Locks are keyed by the rendered receiver
+// expression ("sh.mu") so diagnostics name the mutex the way the code
+// spells it.
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	resolve := framework.SyncLockResolver(pass.TypesInfo, func(recv ast.Expr) string {
+		return types.ExprString(recv)
+	})
+	goCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			goCalls[g.Call] = true
 		}
-		checkExpr(pass, s.X, held)
-	case *ast.DeferStmt:
-		// defer x.Unlock() keeps the lock held lexically to the end, which
-		// is exactly what we want modelled: everything after the defer runs
-		// under the lock. Other deferred calls run at exit; analyse their
-		// literal bodies fresh.
-		if _, op := lockOp(pass, s.Call); op == "" {
-			checkExpr(pass, s.Call, held)
-		}
-	case *ast.GoStmt:
-		// The spawned goroutine does not hold the spawner's locks.
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			checkBody(pass, lit.Body, map[string]bool{})
-		}
-	case *ast.SendStmt:
-		if len(held) > 0 {
-			pass.Reportf(s.Arrow, "channel send while holding %s; a blocked consumer stalls every waiter of the lock", heldNames(held))
-		}
-		checkExpr(pass, s.Value, held)
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			checkExpr(pass, e, held)
-		}
-		for _, e := range s.Lhs {
-			checkExpr(pass, e, held)
-		}
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			checkExpr(pass, e, held)
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			checkStmt(pass, s.Init, held)
-		}
-		checkExpr(pass, s.Cond, held)
-		checkBody(pass, s.Body, copyHeld(held))
-		if s.Else != nil {
-			checkStmt(pass, s.Else, copyHeld(held))
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			checkStmt(pass, s.Init, held)
-		}
-		if s.Cond != nil {
-			checkExpr(pass, s.Cond, held)
-		}
-		checkBody(pass, s.Body, copyHeld(held))
-	case *ast.RangeStmt:
-		checkExpr(pass, s.X, held)
-		checkBody(pass, s.Body, copyHeld(held))
-	case *ast.BlockStmt:
-		checkBody(pass, s, held)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			checkStmt(pass, s.Init, held)
-		}
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				h := copyHeld(held)
-				for _, st := range cc.Body {
-					checkStmt(pass, st, h)
-				}
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				h := copyHeld(held)
-				for _, st := range cc.Body {
-					checkStmt(pass, st, h)
-				}
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				h := copyHeld(held)
-				if cc.Comm != nil {
-					// A send/receive with a default case is non-blocking;
-					// one without may park. Keep it simple and flag sends
-					// in select the same as bare sends.
-					checkStmt(pass, cc.Comm, h)
-				}
-				for _, st := range cc.Body {
-					checkStmt(pass, st, h)
-				}
-			}
-		}
-	case *ast.LabeledStmt:
-		checkStmt(pass, s.Stmt, held)
-	}
-}
-
-// checkExpr looks for blocking calls and nested function literals inside
-// an expression evaluated under the held set.
-func checkExpr(pass *framework.Pass, e ast.Expr, held map[string]bool) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
+		return true
+	})
+	framework.WalkHeld(body, resolve, func(n ast.Node, held framework.LockSet) {
 		switch x := n.(type) {
 		case *ast.FuncLit:
-			checkBody(pass, x.Body, map[string]bool{})
-			return false
+			checkBody(pass, x.Body) // fresh lock state: runs on its own goroutine or at exit
+		case *ast.SendStmt:
+			if !held.Empty() {
+				pass.Reportf(x.Arrow, "channel send while holding %s; a blocked consumer stalls every waiter of the lock", heldNames(held))
+			}
 		case *ast.CallExpr:
-			if len(held) == 0 {
-				return true
+			if _, op := resolve(x); op != "" {
+				return // the lock operations themselves
+			}
+			if held.Empty() || goCalls[x] {
+				return // a spawned goroutine does not hold the spawner's locks
 			}
 			if fn := calleeFunc(pass, x); fn != nil {
 				if isCondWait(fn) {
-					return true // Cond.Wait releases the mutex while parked
+					return // Cond.Wait releases the mutex while parked
 				}
 				if pass.Ann.Blocking[framework.FuncKey(fn)] {
 					pass.Reportf(x.Pos(), "call to blocking %s while holding %s", framework.FuncKey(fn), heldNames(held))
 				}
 			}
 		}
-		return true
 	})
-}
-
-// lockOp recognises x.Lock / x.Unlock / x.RLock / x.RUnlock calls on
-// sync.Mutex / sync.RWMutex (including embedded ones), returning the
-// rendered receiver key and the operation name.
-func lockOp(pass *framework.Pass, call *ast.CallExpr) (key, op string) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", ""
-	}
-	name := sel.Sel.Name
-	switch name {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-	default:
-		return "", ""
-	}
-	fn := calleeFunc(pass, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", ""
-	}
-	return types.ExprString(sel.X), name
 }
 
 // calleeFunc resolves the called *types.Func, nil for builtins and
@@ -245,32 +125,7 @@ func isCondWait(fn *types.Func) bool {
 	return framework.TypeKey(sig.Recv().Type()) == "sync.Cond"
 }
 
-func copyHeld(held map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(held))
-	for k := range held {
-		out[k] = true
-	}
-	return out
-}
-
 // heldNames renders the held set for diagnostics.
-func heldNames(held map[string]bool) string {
-	names := make([]string, 0, len(held))
-	for k := range held {
-		names = append(names, k)
-	}
-	if len(names) == 1 {
-		return names[0]
-	}
-	// Deterministic order for golden tests.
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
-	out := names[0]
-	for _, n := range names[1:] {
-		out += ", " + n
-	}
-	return out
+func heldNames(held framework.LockSet) string {
+	return strings.Join(held.Names(), ", ")
 }

@@ -89,3 +89,58 @@ func (e *Engine) waived() {
 	defer e.mu.Unlock()
 	e.queue <- 8 //lint:allow lockcheck a reservation taken before Lock guarantees the buffered send cannot block
 }
+
+// earlyUnlockBothBranches was the lexical model's false positive: every
+// path through the if releases the lock before the send, so the CFG
+// meet leaves nothing held at the join and the send is clean.
+func (e *Engine) earlyUnlockBothBranches(fast bool) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+	} else {
+		e.mu.Unlock()
+	}
+	e.queue <- 9
+}
+
+// lockInOneBranchOnly: must-hold at the join is empty (the other path
+// never locked), but inside the locking branch the send is flagged.
+func (e *Engine) lockInOneBranchOnly(cond bool) {
+	if cond {
+		e.mu.Lock()
+		e.queue <- 10 // want `channel send while holding e.mu`
+		e.mu.Unlock()
+	}
+	e.queue <- 11
+}
+
+// deferInLoop: a deferred unlock inside the loop body runs at function
+// exit, not at iteration end — the lock stays held for the send.
+func (e *Engine) deferInLoop(n int) {
+	for i := 0; i < n; i++ {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.queue <- 12 // want `channel send while holding e.mu`
+	}
+}
+
+// tryLock holds the lock only when TryLock succeeded: flagged inside
+// the success branch, clean after the if (the attempt may have failed).
+func (e *Engine) tryLock() {
+	if e.mu.TryLock() {
+		e.queue <- 13 // want `channel send while holding e.mu`
+		e.mu.Unlock()
+	}
+	e.queue <- 14
+}
+
+// tryLockGuardReturn: the failure branch returns, so the fall-through
+// code does hold the lock.
+func (e *Engine) tryLockGuardReturn() {
+	if !e.rw.TryRLock() {
+		e.queue <- 15
+		return
+	}
+	defer e.rw.RUnlock()
+	e.queue <- 16 // want `channel send while holding e.rw`
+}

@@ -1,0 +1,12 @@
+package racecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/racecheck"
+)
+
+func TestRacecheck(t *testing.T) {
+	analysistest.Run(t, racecheck.Analyzer, "race", "raceuser")
+}

@@ -1,0 +1,115 @@
+// Package race models the engine's guarded shard state: an annotated
+// //gather:guardedby field checked against the CFG must-hold set, with
+// call-site lock inheritance for unexported helpers, and an unannotated
+// field whose guard is inferred by module-wide majority.
+package race
+
+import "sync"
+
+type Shard struct {
+	//gather:lock shard
+	mu sync.RWMutex
+
+	//gather:guardedby shard
+	crowds map[int]int
+
+	//gather:guardedby shard
+	ticks int
+}
+
+// New initialises its own value before it is shared: constructor-local
+// accesses need no guard.
+func New() *Shard {
+	s := &Shard{crowds: map[int]int{}}
+	s.ticks = 1
+	return s
+}
+
+func (s *Shard) guardedWrite() {
+	s.mu.Lock()
+	s.crowds[1] = 1
+	s.ticks++
+	s.mu.Unlock()
+}
+
+func (s *Shard) guardedRead() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ticks
+}
+
+func (s *Shard) unguardedWrite() {
+	s.ticks = 2 // want `unguarded write of race.Shard.ticks: the field is declared //gather:guardedby shard`
+}
+
+func (s *Shard) writeUnderReadLock() {
+	s.mu.RLock()
+	s.ticks = 3 // want `write to race.Shard.ticks while holding shard read-locked`
+	s.mu.RUnlock()
+}
+
+// flush is unexported and only ever called with the lock held: it
+// inherits the write hold from its call sites.
+func (s *Shard) flush() { s.ticks = 0 }
+
+func (s *Shard) Reset() {
+	s.mu.Lock()
+	s.flush()
+	s.mu.Unlock()
+}
+
+// Exported methods inherit nothing — any caller anywhere may enter.
+func (s *Shard) Bump() {
+	s.ticks++ // want `unguarded write of race.Shard.ticks`
+}
+
+// A goroutine body does not inherit the spawner's locks.
+func (s *Shard) spawns() {
+	s.mu.Lock()
+	go func() {
+		s.ticks++ // want `unguarded write of race.Shard.ticks`
+	}()
+	s.mu.Unlock()
+}
+
+func (s *Shard) waived() {
+	s.ticks = 4 //lint:allow racecheck single-goroutine bootstrap before the shard is published
+}
+
+// Pool's hits field is unannotated; four of its five accesses hold the
+// pool lock, so the minority access is reported with an inference
+// prompt.
+type Pool struct {
+	//gather:lock pool
+	mu sync.Mutex
+
+	hits int
+}
+
+func (p *Pool) touchA() {
+	p.mu.Lock()
+	p.hits++
+	p.mu.Unlock()
+}
+
+func (p *Pool) touchB() {
+	p.mu.Lock()
+	p.hits++
+	p.mu.Unlock()
+}
+
+func (p *Pool) readA() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits
+}
+
+func (p *Pool) readB() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits
+}
+
+func (p *Pool) Outlier() int {
+	return p.hits // want `read of race.Pool.hits without pool, which 4 of 5 accesses module-wide hold`
+}

@@ -1,0 +1,36 @@
+// Package raceowner models internal/incremental: a storage type whose
+// fields are guarded by a lock its own package cannot name (the
+// engine's shard lock lives upstream). The //gather:guardedby contract
+// is declared here, exempt locally because no //gather:lock in this
+// package's fact view is called "shard", and enforced at the departing
+// call sites of the packages that do see the lock.
+package raceowner
+
+import "sync"
+
+type Store struct {
+	//gather:lock aux
+	AuxMu sync.Mutex
+
+	//gather:guardedby shard
+	Tail int
+
+	//gather:guardedby shard
+	Ticks int
+}
+
+// Append relies on the caller holding the engine's shard lock.
+func (s *Store) Append(v int) { s.Tail = v }
+
+// Sum also relies on the caller's lock, but only needs a read hold.
+func (s *Store) Sum() int { return s.Tail + s.Ticks }
+
+// Relay acquires an unrelated local lock and calls the writer under
+// it, exercising the CallsHolding chain of the departing-call walk.
+func (s *Store) Relay(v int) {
+	s.AuxMu.Lock()
+	s.innerAppend(v)
+	s.AuxMu.Unlock()
+}
+
+func (s *Store) innerAppend(v int) { s.Tail = v }

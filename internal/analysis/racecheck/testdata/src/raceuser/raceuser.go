@@ -1,0 +1,53 @@
+// Package raceuser models internal/engine: it owns the shard lock that
+// guards raceowner.Store's fields and is therefore the place where
+// calls into raceowner are checked for the guard.
+package raceuser
+
+import (
+	"sync"
+
+	"raceowner"
+)
+
+type Engine struct {
+	//gather:lock shard
+	mu sync.RWMutex
+
+	store raceowner.Store
+}
+
+func (e *Engine) goodAppend(v int) {
+	e.mu.Lock()
+	e.store.Append(v)
+	e.mu.Unlock()
+}
+
+func (e *Engine) badAppend(v int) {
+	e.store.Append(v) // want `call into raceowner.Store.Append writes raceowner.Store.Tail .* without shard held`
+}
+
+func (e *Engine) readHoldWrite(v int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.store.Append(v) // want `call into raceowner.Store.Append writes raceowner.Store.Tail .* without shard held`
+}
+
+func (e *Engine) goodSum() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.Sum()
+}
+
+func (e *Engine) badSum() int {
+	return e.store.Sum() // want `call into raceowner.Store.Sum reads raceowner.Store.Tail .* without shard held` `call into raceowner.Store.Sum reads raceowner.Store.Ticks .* without shard held`
+}
+
+func (e *Engine) goodRelay(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store.Relay(v)
+}
+
+func (e *Engine) badRelay(v int) {
+	e.store.Relay(v) // want `call into raceowner.Store.innerAppend writes raceowner.Store.Tail .* without shard held`
+}

@@ -70,7 +70,12 @@ type Crowd struct {
 	// when discovery was last resumed with DiscoverFrom (nil for crowds
 	// that started within the sweep). The incremental layer uses it to
 	// find the old crowd's gatherings and signature detector for the
-	// update of §III-C2.
+	// update of §III-C2. It is the one mutable exception to the
+	// immutability contract: each DiscoverFrom resume re-points the tail
+	// candidates' Origin in place, which is why attached tail crowds must
+	// never leave the store without Detached() and why the engine only
+	// resumes discovery under the shard lock.
+	//gather:guardedby shard
 	Origin *Crowd
 
 	// parent/last/base encode the persistent representation: a root node

@@ -161,9 +161,11 @@ type task struct {
 // matter which worker finishes clustering first.
 type shard struct {
 	//gather:lock shard
-	mu    sync.RWMutex
-	cond  *sync.Cond
+	mu   sync.RWMutex
+	cond *sync.Cond
+	//gather:guardedby shard
 	store *incremental.Store
+	//gather:guardedby shard
 	next  uint64       // seq of the next task to apply
 	ticks atomic.Int64 // store.Ticks() after the last apply, lock-free for the frontier
 }
@@ -198,10 +200,14 @@ type Engine struct {
 	// since it was built (mergeVer tracks TasksApplied), so steady-state
 	// queries pay a filter over the cached list, not the O(k²) merge.
 	//gather:lock merge
-	mergeMu    sync.Mutex
-	mergeVer   uint64
+	mergeMu sync.Mutex
+	//gather:guardedby merge
+	mergeVer uint64
+	//gather:guardedby merge
 	mergeValid bool
+	//gather:guardedby merge
 	mergeCache []shardCrowd
+	//gather:guardedby merge
 	mergeTicks int
 
 	// buildMu serialises the cluster-once global DBSCAN pass across
@@ -218,18 +224,23 @@ type Engine struct {
 	// enqCond, never parked inside a channel send while holding enqMu —
 	// that would stall TryAppend and Close behind a blocked Append.
 	//gather:lock enq
-	enqMu    sync.Mutex
-	enqCond  *sync.Cond
-	qFree    int // queue slots not yet promised to a batch
+	enqMu   sync.Mutex
+	enqCond *sync.Cond
+	//gather:guardedby enq
+	qFree int // queue slots not yet promised to a batch
+	//gather:guardedby enq
 	inflight int // batches holding reserved slots but not yet published
-	seq      uint64
-	closed   bool
+	//gather:guardedby enq
+	seq uint64
+	//gather:guardedby enq
+	closed bool
 
 	// pending tracks enqueued-but-unapplied tasks for Flush.
 	//gather:lock pend
 	pendMu   sync.Mutex
 	pendCond *sync.Cond
-	pending  int
+	//gather:guardedby pend
+	pending int
 
 	counters stats.EngineCounters
 	ticksLow atomic.Int64 // cached fully-applied tick frontier (min over shards)
