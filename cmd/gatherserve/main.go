@@ -9,6 +9,8 @@
 //	            [-partition grid] [-cell 3000] [-halo 1200]
 //	            [-eps 200] [-minpts 5] [-mc 15] [-kc 20] [-delta 300]
 //	            [-kp 15] [-mp 10] [-searcher grid]
+//	            [-watermark 8] [-checkpoint state.ckpt] [-wal state.wal]
+//	            [-checkpoint-every 16]
 //	            [-addr :8080] [-oneshot] [-pprof]
 //
 // The CSV is replayed in batches of -batch ticks, one every -interval
@@ -17,13 +19,28 @@
 // DBSCAN-clustered once globally and the shards receive routed cluster
 // views (see internal/engine), so recall-preserving sharding costs a few
 // tens of percent of ingest throughput rather than a re-clustering per
-// replica. While ingestion runs, the server answers:
+// replica.
+//
+// Every batch passes the watermark admission stage (internal/engine/admit)
+// before the engine: out-of-order batches within -watermark are
+// re-sequenced, duplicates are dropped, and a batch lost beyond the
+// watermark is replaced by an empty filler (logged and counted on /stats)
+// so the tick domain stays aligned. With -checkpoint and/or -wal the
+// admitted stream is made durable: each batch is appended to the
+// write-ahead log before it is applied, and every -checkpoint-every
+// batches the per-shard incremental state is checkpointed and the log
+// truncated. A killed server restores the checkpoint, replays the log,
+// and resumes with an identical gathering set — re-delivered batches from
+// the restarted feed are classified as duplicates and dropped. While
+// ingestion runs, the server answers:
 //
 //	GET /gatherings?from=0&to=100&bbox=minx,miny,maxx,maxy&limit=50
 //	    crowds that currently hold a closed gathering, as GeoJSON
 //	GET /crowds?...   every closed crowd, same filters
-//	GET /stats        ingest/query counters and the tick frontier
+//	GET /stats        ingest/query/resilience counters and the tick frontier
 //	GET /healthz      liveness
+//	GET /readyz       readiness: 503 until checkpoint restore and WAL
+//	                  replay finish, 200 once the engine serves live state
 //
 // With -pprof the net/http/pprof handlers are additionally served under
 // /debug/pprof/, so a live ingest can be profiled in place:
@@ -40,6 +57,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -50,12 +68,16 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	gatherings "repro"
+	"repro/internal/engine/admit"
 	"repro/internal/geo"
 	"repro/internal/geojson"
+	"repro/internal/recovery"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -81,6 +103,11 @@ func main() {
 		kp       = flag.Int("kp", 15, "participator lifetime threshold kp (ticks)")
 		mp       = flag.Int("mp", 10, "gathering support threshold mp")
 		searcher = flag.String("searcher", "grid", "range search scheme: brute, sr, ir or grid")
+
+		watermark = flag.Int("watermark", admit.DefaultWatermark, "admission reorder window in batches: out-of-order batches within it are re-sequenced, beyond it dropped and counted")
+		ckptPath  = flag.String("checkpoint", "", "checkpoint file: per-shard incremental state saved every -checkpoint-every batches and restored on startup (empty = no checkpoints)")
+		walPath   = flag.String("wal", "", "write-ahead log file: admitted batches logged before apply and replayed after a crash (empty = no WAL)")
+		ckptEvery = flag.Int("checkpoint-every", 16, "admitted batches between checkpoints; 0 checkpoints only on clean shutdown")
 
 		addr    = flag.String("addr", ":8080", "HTTP listen address")
 		oneshot = flag.Bool("oneshot", false, "ingest everything, print gatherings GeoJSON, exit")
@@ -162,19 +189,70 @@ func main() {
 		fatal(err)
 	}
 
+	// On SIGINT/SIGTERM: stop the ingest loop, stop accepting queries,
+	// drain in-flight ones, checkpoint, then flush and close the engine.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// ready flips once checkpoint restore and WAL replay finish; until
+	// then /readyz answers 503 while /healthz stays a bare liveness probe.
+	var ready atomic.Bool
+	resil := &stats.ResilienceCounters{}
+
 	ingestDone := make(chan struct{})
 	go func() {
 		defer close(ingestDone)
-		for _, b := range db.Batches(*batch) {
-			if err := eng.Append(b); err != nil {
-				log.Printf("ingest: %v", err)
+		// Recovery first: restore the checkpoint, replay the WAL. A server
+		// that cannot reconstruct its durable state must not serve from an
+		// unknown one.
+		mgr, err := recovery.Open(eng, recovery.Options{
+			CheckpointPath: *ckptPath,
+			WALPath:        *walPath,
+			Every:          *ckptEvery,
+			Counters:       resil,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if n := resil.WALReplayed.Load(); n > 0 || mgr.NextSeq() > 0 {
+			log.Printf("recovered: %d batches from checkpoint, %d replayed from WAL, frontier at batch %d",
+				mgr.NextSeq()-n, n, mgr.NextSeq())
+		}
+		ready.Store(true)
+
+		// The admission stage starts at the recovered frontier: batches the
+		// restarted feed re-delivers below it are duplicates, dropped.
+		adm := admit.New(admit.Config{
+			Watermark:     *watermark,
+			Start:         mgr.NextSeq(),
+			TicksPerBatch: *batch,
+			Counters:      resil,
+		})
+		var emits []admit.Emit
+		for i, b := range db.Batches(*batch) {
+			emits = adm.Offer(uint64(i), b, emits[:0])
+			if err := applyEmits(ctx, eng, mgr, emits); err != nil {
+				logIngestEnd(err)
+				closeManager(mgr)
 				return
 			}
 			if *interval > 0 {
-				time.Sleep(*interval)
+				select {
+				case <-ctx.Done():
+					closeManager(mgr)
+					return
+				case <-time.After(*interval):
+				}
 			}
 		}
+		emits = adm.Drain(emits[:0])
+		if err := applyEmits(ctx, eng, mgr, emits); err != nil {
+			logIngestEnd(err)
+			closeManager(mgr)
+			return
+		}
 		eng.Flush()
+		closeManager(mgr)
 		log.Printf("ingest done: %d ticks applied", eng.Ticks())
 	}()
 
@@ -202,8 +280,19 @@ func main() {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ticks applied:       %d\n", eng.Ticks())
 		eng.Counters().Snapshot().Fprint(w)
+		resil.Snapshot().Fprint(w)
+		if q := eng.Quarantined(); len(q) > 0 {
+			fmt.Fprintf(w, "quarantined shards:  %v\n", q)
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			http.Error(w, "recovering: checkpoint restore / WAL replay in progress", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	if *pprofOn {
@@ -228,11 +317,6 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	// On SIGINT/SIGTERM: stop accepting, drain in-flight queries, then
-	// flush and close the engine so every enqueued batch reaches its
-	// shard before the process exits.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
 
@@ -249,10 +333,76 @@ func main() {
 	if err := srv.Shutdown(shCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
+	// The cancelled context stops the ingest loop, which writes its final
+	// checkpoint and closes the WAL before signalling done — only then is
+	// it safe to close the engine under it.
+	log.Printf("shutting down: stopping ingest")
+	<-ingestDone
 	log.Printf("shutting down: flushing engine")
 	eng.Flush()
 	eng.Close()
 	log.Printf("shutdown complete: %d ticks applied", eng.Ticks())
+}
+
+// applyEmits logs and applies the admission stage's released batches, in
+// order: WAL append first (write-ahead), then the engine, then the
+// checkpoint bookkeeping.
+func applyEmits(ctx context.Context, eng *gatherings.Engine, mgr *recovery.Manager, emits []admit.Emit) error {
+	for _, em := range emits {
+		if em.Filler {
+			log.Printf("ingest: batch %d lost beyond the watermark; advancing with an empty filler", em.Seq)
+		}
+		if err := mgr.Log(em.Seq, em.Batch); err != nil {
+			return err
+		}
+		if err := appendWithRetry(ctx, eng, em.Batch); err != nil {
+			return err
+		}
+		if err := mgr.Applied(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendWithRetry submits one batch, retrying transient failures (a full
+// queue under load) with capped exponential backoff. Only a closed engine
+// or a cancelled context aborts the ingest — a burst of backpressure used
+// to kill the whole ingest goroutine.
+func appendWithRetry(ctx context.Context, eng *gatherings.Engine, b *gatherings.DB) error {
+	const maxBackoff = 5 * time.Second
+	backoff := 10 * time.Millisecond
+	for {
+		err := eng.Append(b)
+		if err == nil || errors.Is(err, gatherings.ErrEngineClosed) {
+			return err
+		}
+		log.Printf("ingest: %v; retrying in %v", err, backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// logIngestEnd reports why the ingest loop stopped, quietly for the
+// expected shutdown paths.
+func logIngestEnd(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, gatherings.ErrEngineClosed) {
+		return
+	}
+	log.Printf("ingest: %v", err)
+}
+
+// closeManager writes the final checkpoint and closes the WAL.
+func closeManager(mgr *recovery.Manager) {
+	if err := mgr.Close(); err != nil {
+		log.Printf("recovery: %v", err)
+	}
 }
 
 // serveQuery parses the filter parameters, runs one snapshot query and

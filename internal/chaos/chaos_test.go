@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+func testBatches(n int) []*trajectory.DB {
+	out := make([]*trajectory.DB, n)
+	for i := range out {
+		out[i] = &trajectory.DB{Domain: trajectory.TimeDomain{
+			Start: float64(i * 4), Step: 1, N: 4,
+		}}
+	}
+	return out
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	batches := testBatches(50)
+	cfg := Config{Seed: 7, ReorderProb: 0.4, MaxDelay: 3, DupProb: 0.3, DropProb: 0.1}
+	a := Perturb(batches, cfg)
+	b := Perturb(batches, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed and config produced different event streams")
+	}
+	cfg.Seed = 8
+	if reflect.DeepEqual(a, Perturb(batches, cfg)) {
+		t.Fatal("different seeds produced identical event streams — seed is dead")
+	}
+}
+
+func TestPerturbLosslessWithoutDrops(t *testing.T) {
+	batches := testBatches(60)
+	evs := Perturb(batches, Config{Seed: 3, ReorderProb: 0.5, MaxDelay: 3, DupProb: 0.4})
+	count := map[uint64]int{}
+	for _, ev := range evs {
+		count[ev.Seq]++
+		if ev.Batch != batches[ev.Seq] {
+			t.Fatalf("seq %d delivered with the wrong batch", ev.Seq)
+		}
+	}
+	dups := 0
+	for i := range batches {
+		c := count[uint64(i)]
+		if c < 1 {
+			t.Errorf("seq %d never delivered despite DropProb 0", i)
+		}
+		if c > 2 {
+			t.Errorf("seq %d delivered %d times; one duplicate max", i, c)
+		}
+		if c == 2 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Error("DupProb 0.4 over 60 batches produced no duplicates")
+	}
+}
+
+func TestPerturbDropsEverything(t *testing.T) {
+	evs := Perturb(testBatches(20), Config{Seed: 1, DropProb: 1})
+	if len(evs) != 0 {
+		t.Fatalf("DropProb 1 still delivered %d events", len(evs))
+	}
+}
+
+// fires exercises a fault plan over the (shard, seq) grid and records
+// which applies panic.
+func fires(f func(int, uint64), shards, seqs int) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for s := 0; s < shards; s++ {
+		for q := 0; q < seqs; q++ {
+			func() {
+				defer func() {
+					if recover() != nil {
+						out[[2]int{s, q}] = true
+					}
+				}()
+				f(s, uint64(q))
+			}()
+		}
+	}
+	return out
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	a := fires(Faults(11, 4, 32, 0.2), 4, 32)
+	b := fires(Faults(11, 4, 32, 0.2), 4, 32)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault plans")
+	}
+	if len(a) == 0 {
+		t.Fatal("prob 0.2 over a 4x32 grid faulted nothing")
+	}
+	// Applies outside the precomputed plan never fault.
+	if len(fires(Faults(11, 4, 32, 1), 5, 40)) != 4*32 {
+		t.Fatal("faults fired outside the precomputed shard/seq bounds")
+	}
+}
+
+func TestFaultAt(t *testing.T) {
+	got := fires(FaultAt([2]int{1, 3}, [2]int{0, 0}), 3, 5)
+	want := map[[2]int]bool{{1, 3}: true, {0, 0}: true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FaultAt fired at %v, want %v", got, want)
+	}
+}

@@ -92,6 +92,13 @@ type Config struct {
 
 	// Partitioner routes trajectories to shards. Nil means ObjectHash.
 	Partitioner Partitioner
+
+	// ApplyFault, when non-nil, is called before every shard apply, under
+	// the shard's write lock — a fault-injection hook for the chaos
+	// harness (internal/chaos). A panic it raises is recovered by the
+	// worker and quarantines the shard instead of crashing the process.
+	// Production configurations leave it nil.
+	ApplyFault func(shard int, seq uint64)
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -166,8 +173,19 @@ type shard struct {
 	//gather:guardedby shard
 	store *incremental.Store
 	//gather:guardedby shard
-	next  uint64       // seq of the next task to apply
-	ticks atomic.Int64 // store.Ticks() after the last apply, lock-free for the frontier
+	next uint64 // seq of the next task to apply
+	// quarantined marks a shard whose apply panicked: its store is no
+	// longer trusted, later sub-batches are discarded (the sequence still
+	// advances so siblings drain), and snapshots skip it. A checkpoint
+	// restore replaces the store and clears the flag.
+	//gather:guardedby shard
+	quarantined bool
+	// appliedTicks mirrors store.Ticks() on the healthy path and keeps
+	// counting discarded sub-batches after quarantine, so the engine's
+	// tick frontier never stalls on a poisoned shard.
+	//gather:guardedby shard
+	appliedTicks int
+	ticks        atomic.Int64 // appliedTicks after the last apply, lock-free for the frontier
 }
 
 // Engine is the concurrent sharded streaming-discovery service. Create
@@ -579,8 +597,14 @@ func (e *Engine) apply(t task) {
 	for sh.next != t.seq {
 		sh.cond.Wait()
 	}
-	sh.store.Append(cdb)
-	sh.ticks.Store(int64(sh.store.Ticks()))
+	if !sh.quarantined {
+		e.applyStore(sh, t.shard, t.seq, cdb)
+	}
+	// appliedTicks advances whether or not the store took the batch: a
+	// quarantined shard must not stall the engine-wide tick frontier, and
+	// the sequence must advance so successors parked on cond drain.
+	sh.appliedTicks += cdb.Domain.N
+	sh.ticks.Store(int64(sh.appliedTicks))
 	sh.next++
 	sh.cond.Broadcast()
 	sh.mu.Unlock()
@@ -594,6 +618,40 @@ func (e *Engine) apply(t task) {
 		e.pendCond.Broadcast()
 	}
 	e.pendMu.Unlock()
+}
+
+// applyStore feeds one sub-batch to the shard's store, converting a panic
+// — an injected fault or real corruption — into quarantine: the store may
+// be half-mutated, so it is retired rather than trusted. Called with the
+// shard's write lock held.
+func (e *Engine) applyStore(sh *shard, shardIdx int, seq uint64, cdb *snapshot.CDB) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.quarantined = true //lint:allow racecheck applyStore runs under apply's sh.mu write lock, which the deferred closure inherits
+			e.counters.ApplyPanics.Add(1)
+			e.counters.ShardsQuarantined.Add(1)
+		}
+	}()
+	if f := e.cfg.ApplyFault; f != nil {
+		f(shardIdx, seq)
+	}
+	sh.store.Append(cdb)
+}
+
+// Quarantined returns the indices of shards retired by a recovered apply
+// panic. Their data is excluded from snapshots; a checkpoint restore
+// (LoadState) brings them back.
+func (e *Engine) Quarantined() []int {
+	var out []int
+	for i, sh := range e.shards {
+		sh.mu.RLock()
+		q := sh.quarantined
+		sh.mu.RUnlock()
+		if q {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // advanceFrontier recomputes the fully-applied tick frontier from the
@@ -762,6 +820,12 @@ func (e *Engine) Snapshot(q Query) *Result {
 		minTicks = -1
 		for si, sh := range e.shards {
 			sh.mu.RLock()
+			if sh.quarantined {
+				// A poisoned store's answers are not trusted; its frontier
+				// keeps advancing via appliedTicks, so it is skipped whole.
+				sh.mu.RUnlock()
+				continue
+			}
 			if t := sh.store.Ticks(); minTicks < 0 || t < minTicks {
 				minTicks = t
 			}
@@ -820,6 +884,10 @@ func (e *Engine) mergedState() ([]shardCrowd, int) {
 	minTicks := -1
 	for si, sh := range e.shards {
 		sh.mu.RLock()
+		if sh.quarantined {
+			sh.mu.RUnlock()
+			continue
+		}
 		if t := sh.store.Ticks(); minTicks < 0 || t < minTicks {
 			minTicks = t
 		}

@@ -102,6 +102,13 @@ func New(cp crowd.Params, gp gathering.Params, newSearcher func() crowd.Searcher
 // Ticks returns the number of ticks ingested so far.
 func (s *Store) Ticks() int { return s.cdb.Domain.N }
 
+// Params returns the crowd and gathering parameter sets the store was
+// created (or Loaded) with. Recovery uses them to refuse restoring a
+// checkpoint into an engine configured with different thresholds.
+func (s *Store) Params() (crowd.Params, gathering.Params) {
+	return s.crowdParams, s.gatherParams
+}
+
 // Append ingests one batch of snapshot clusters (ticks are renumbered to
 // follow the current domain) and brings crowds and gatherings up to date.
 func (s *Store) Append(batch *snapshot.CDB) {

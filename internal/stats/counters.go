@@ -41,6 +41,15 @@ type EngineCounters struct {
 	// activity, not query rate.
 	CrowdsDeduped  atomic.Uint64 // duplicate/partial boundary-crowd copies dropped by the snapshot merge
 	CrowdsStitched atomic.Uint64 // crowd fragments fused into cross-shard crowds by the snapshot merge
+
+	// Fault side. A panic while applying a sub-batch to a shard's store is
+	// recovered by the worker instead of taking the process down: the shard
+	// is quarantined — its store is no longer trusted, later sub-batches
+	// are discarded, snapshots skip it — until a checkpoint restore
+	// replaces it. Both counters advancing means data loss is bounded to
+	// the quarantined shards, never silent.
+	ApplyPanics       atomic.Uint64 // panics recovered in the shard-apply path
+	ShardsQuarantined atomic.Uint64 // shards retired by a recovered apply panic
 }
 
 // EngineCounterSnapshot is a point-in-time copy of EngineCounters.
@@ -57,6 +66,8 @@ type EngineCounterSnapshot struct {
 	GatheringsReturned uint64
 	CrowdsDeduped      uint64
 	CrowdsStitched     uint64
+	ApplyPanics        uint64
+	ShardsQuarantined  uint64
 }
 
 // Snapshot reads every counter once. Counters advance independently, so
@@ -76,6 +87,8 @@ func (c *EngineCounters) Snapshot() EngineCounterSnapshot {
 		GatheringsReturned: c.GatheringsReturned.Load(),
 		CrowdsDeduped:      c.CrowdsDeduped.Load(),
 		CrowdsStitched:     c.CrowdsStitched.Load(),
+		ApplyPanics:        c.ApplyPanics.Load(),
+		ShardsQuarantined:  c.ShardsQuarantined.Load(),
 	}
 }
 
@@ -93,4 +106,70 @@ func (s EngineCounterSnapshot) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "gatherings returned: %d\n", s.GatheringsReturned)
 	fmt.Fprintf(w, "crowds deduped:      %d\n", s.CrowdsDeduped)
 	fmt.Fprintf(w, "crowds stitched:     %d\n", s.CrowdsStitched)
+	fmt.Fprintf(w, "apply panics:        %d\n", s.ApplyPanics)
+	fmt.Fprintf(w, "shards quarantined:  %d\n", s.ShardsQuarantined)
+}
+
+// ResilienceCounters are the live counters of the streaming-resilience
+// layer in front of the engine: what the watermark admission stage did to
+// a messy stream (reordered, late, duplicate and abandoned batches) and
+// what the durability side wrote and replayed. Like EngineCounters, all
+// fields are atomic and a consistent-enough view comes from Snapshot.
+//
+// The admission contract these counters audit: every batch offered to the
+// admitter is exactly one of admitted, duplicate, late, or dropped — a
+// batch the engine never sees always advances a counter, never vanishes
+// silently.
+type ResilienceCounters struct {
+	// Admission side.
+	BatchesAdmitted  atomic.Uint64 // batches released to the engine in order, exactly once
+	BatchesReordered atomic.Uint64 // batches that arrived out of order but inside the watermark and were re-sequenced
+	BatchesLate      atomic.Uint64 // batches that arrived for a slot already abandoned — dropped
+	BatchesDuplicate atomic.Uint64 // batches whose sequence or content was already admitted or buffered — dropped
+	BatchesDropped   atomic.Uint64 // slots abandoned by a watermark advance; an empty filler batch keeps the tick domain aligned
+	TicksDropped     atomic.Uint64 // ticks carried by late/abandoned batches, lost to the stores
+
+	// Durability side.
+	CheckpointsWritten atomic.Uint64 // per-shard checkpoint files committed (written, synced, renamed)
+	WALReplayed        atomic.Uint64 // batches re-applied from the write-ahead log at startup
+}
+
+// ResilienceCounterSnapshot is a point-in-time copy of ResilienceCounters.
+type ResilienceCounterSnapshot struct {
+	BatchesAdmitted    uint64
+	BatchesReordered   uint64
+	BatchesLate        uint64
+	BatchesDuplicate   uint64
+	BatchesDropped     uint64
+	TicksDropped       uint64
+	CheckpointsWritten uint64
+	WALReplayed        uint64
+}
+
+// Snapshot reads every counter once (per-field atomic, as with
+// EngineCounters).
+func (c *ResilienceCounters) Snapshot() ResilienceCounterSnapshot {
+	return ResilienceCounterSnapshot{
+		BatchesAdmitted:    c.BatchesAdmitted.Load(),
+		BatchesReordered:   c.BatchesReordered.Load(),
+		BatchesLate:        c.BatchesLate.Load(),
+		BatchesDuplicate:   c.BatchesDuplicate.Load(),
+		BatchesDropped:     c.BatchesDropped.Load(),
+		TicksDropped:       c.TicksDropped.Load(),
+		CheckpointsWritten: c.CheckpointsWritten.Load(),
+		WALReplayed:        c.WALReplayed.Load(),
+	}
+}
+
+// Fprint renders the snapshot as an aligned block, matching
+// EngineCounterSnapshot.Fprint.
+func (s ResilienceCounterSnapshot) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "batches admitted:    %d\n", s.BatchesAdmitted)
+	fmt.Fprintf(w, "batches reordered:   %d\n", s.BatchesReordered)
+	fmt.Fprintf(w, "batches late:        %d\n", s.BatchesLate)
+	fmt.Fprintf(w, "batches duplicate:   %d\n", s.BatchesDuplicate)
+	fmt.Fprintf(w, "batches dropped:     %d\n", s.BatchesDropped)
+	fmt.Fprintf(w, "ticks dropped:       %d\n", s.TicksDropped)
+	fmt.Fprintf(w, "checkpoints written: %d\n", s.CheckpointsWritten)
+	fmt.Fprintf(w, "wal batches replayed: %d\n", s.WALReplayed)
 }

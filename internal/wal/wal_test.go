@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// testDB builds a deterministic batch with real samples, so the roundtrip
+// covers the full encoding: domain, IDs, sample times and coordinates.
+func testDB(seq, ticks, trajs int) *trajectory.DB {
+	db := &trajectory.DB{Domain: trajectory.TimeDomain{
+		Start: float64(seq * ticks), Step: 1, N: ticks,
+	}}
+	for i := 0; i < trajs; i++ {
+		tr := trajectory.Trajectory{
+			ID:      trajectory.ObjectID(i),
+			Samples: make([]trajectory.Sample, ticks),
+		}
+		for t := 0; t < ticks; t++ {
+			tr.Samples[t] = trajectory.Sample{
+				Time: db.Domain.Start + float64(t),
+				P:    geo.Point{X: float64(seq*1000 + i*10 + t), Y: float64(i - t)},
+			}
+		}
+		db.Trajs = append(db.Trajs, tr)
+	}
+	return db
+}
+
+type rec struct {
+	seq uint64
+	db  *trajectory.DB
+}
+
+func replayAll(t *testing.T, path string) []rec {
+	t.Helper()
+	var out []rec
+	n, err := Replay(path, func(seq uint64, db *trajectory.DB) error {
+		out = append(out, rec{seq, db})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(out) {
+		t.Fatalf("Replay reported %d records, delivered %d", n, len(out))
+	}
+	return out
+}
+
+func TestRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rec{
+		{0, testDB(0, 4, 3)},
+		{1, testDB(1, 4, 2)},
+		{2, testDB(2, 4, 5)},
+	}
+	for _, r := range want {
+		if err := w.Append(r.seq, r.db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].seq != want[i].seq {
+			t.Errorf("record %d: seq %d, want %d", i, got[i].seq, want[i].seq)
+		}
+		if !reflect.DeepEqual(got[i].db, want[i].db) {
+			t.Errorf("record %d decoded differently:\ngot  %+v\nwant %+v",
+				i, got[i].db, want[i].db)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(0); seq < 3; seq++ {
+		if err := w.Append(seq, testDB(int(seq), 4, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: the last record loses its final 5 bytes, as if the
+	// process died mid-write.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, path)
+	if len(got) != 2 || got[0].seq != 0 || got[1].seq != 1 {
+		t.Fatalf("torn log replayed %+v records, want intact prefix [0 1]", len(got))
+	}
+
+	// Reopening truncates the torn bytes and appends cleanly after them.
+	w, err = Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, testDB(5, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got = replayAll(t, path)
+	if len(got) != 3 || got[2].seq != 5 {
+		t.Fatalf("post-repair log replayed %d records (last seq %d), want 3 ending in 5",
+			len(got), got[len(got)-1].seq)
+	}
+}
+
+func TestResetEmptiesLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, testDB(0, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(7, testDB(7, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, path)
+	if len(got) != 1 || got[0].seq != 7 {
+		t.Fatalf("post-reset log replayed %+v, want just seq 7", got)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n, err := Replay(filepath.Join(t.TempDir(), "nope"), func(uint64, *trajectory.DB) error {
+		t.Fatal("callback fired for a missing log")
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("missing log: n=%d err=%v, want 0, nil", n, err)
+	}
+}
+
+func TestReplayBadHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, []byte("XXXXXXXXXXXX"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Replay(path, nil)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad header replay error = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestAppendAllocs is the ISSUE's hot-path guard: steady-state WAL appends
+// reuse the encode buffer and must not allocate per batch.
+func TestAppendAllocs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	db := testDB(0, 4, 8)
+	seq := uint64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := w.Append(seq, db); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocates %.1f times per batch, want 0", allocs)
+	}
+}
