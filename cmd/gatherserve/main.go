@@ -10,7 +10,11 @@
 //	            [-eps 200] [-minpts 5] [-mc 15] [-kc 20] [-delta 300]
 //	            [-kp 15] [-mp 10] [-searcher grid]
 //	            [-watermark 8] [-checkpoint state.ckpt] [-wal state.wal]
-//	            [-checkpoint-every 16]
+//	            [-checkpoint-every 16] [-wal-sync always]
+//	            [-cluster map.json -node a] [-forward-deadline 30s]
+//	            [-attempt-timeout 2s] [-breaker-threshold 5]
+//	            [-breaker-cooldown 3s] [-hedge 0]
+//	            [-retry-seed 0] [-ingest-retry-for 2m]
 //	            [-addr :8080] [-oneshot] [-pprof]
 //
 // The CSV is replayed in batches of -batch ticks, one every -interval
@@ -41,6 +45,25 @@
 //	GET /healthz      liveness
 //	GET /readyz       readiness: 503 until checkpoint restore and WAL
 //	                  replay finish, 200 once the engine serves live state
+//
+// With -cluster map.json -node <id> the server runs as one member of a
+// multi-node cluster (internal/cluster): the membership map assigns grid
+// cells to nodes, the node with -in becomes the ingest front — it cuts
+// every batch into per-owner sub-batches and forwards them over HTTP with
+// retries, backoff and per-peer circuit breakers — and nodes started
+// without -in ingest only what is forwarded to them. Every node runs the
+// same admit→WAL→engine pipeline on its sub-stream, so restarts recover
+// from checkpoint+WAL and re-delivered forwards drop as duplicates.
+// /gatherings and /crowds become scatter-gather reads across the
+// membership: a dead or partitioned peer degrades the answer to a partial
+// result — HTTP 200 with X-Gather-Partial and X-Gather-Unreachable
+// headers, never a 5xx — and /healthz reports "degraded" while any peer's
+// breaker is open. All nodes of one cluster must run the same membership
+// map (checked by version) and the same pipeline flags.
+//
+// -wal-sync picks the WAL durability point: always (fsync per append),
+// checkpoint (fsync only at checkpoints), off (the OS decides). See
+// docs/INVARIANTS.md for the crash-loss tradeoff.
 //
 // With -pprof the net/http/pprof handlers are additionally served under
 // /debug/pprof/, so a live ingest can be profiled in place:
@@ -73,11 +96,15 @@ import (
 	"time"
 
 	gatherings "repro"
+	"repro/internal/cluster"
+	"repro/internal/cluster/rpc"
 	"repro/internal/engine/admit"
+	"repro/internal/gathering"
 	"repro/internal/geo"
 	"repro/internal/geojson"
 	"repro/internal/recovery"
 	"repro/internal/stats"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -108,41 +135,65 @@ func main() {
 		ckptPath  = flag.String("checkpoint", "", "checkpoint file: per-shard incremental state saved every -checkpoint-every batches and restored on startup (empty = no checkpoints)")
 		walPath   = flag.String("wal", "", "write-ahead log file: admitted batches logged before apply and replayed after a crash (empty = no WAL)")
 		ckptEvery = flag.Int("checkpoint-every", 16, "admitted batches between checkpoints; 0 checkpoints only on clean shutdown")
+		walSync   = flag.String("wal-sync", "always", "WAL durability point: always (fsync per append), checkpoint (fsync only at checkpoints and close), off (the OS decides) — see docs/INVARIANTS.md")
+
+		clusterMap = flag.String("cluster", "", "membership map JSON: run as one node of a multi-node cluster (requires -node)")
+		nodeID     = flag.String("node", "", "this node's id in the -cluster membership map")
+		fwdDL      = flag.Duration("forward-deadline", 30*time.Second, "total retry wall-time for one forwarded sub-batch before it is dropped and counted")
+		attemptTO  = flag.Duration("attempt-timeout", 2*time.Second, "timeout of a single cluster HTTP attempt")
+		brkThresh  = flag.Int("breaker-threshold", 5, "consecutive peer failures that open its circuit breaker")
+		brkCool    = flag.Duration("breaker-cooldown", 3*time.Second, "how long an open breaker waits before a half-open probe")
+		hedge      = flag.Duration("hedge", 0, "hedged-read delay for scatter-gather queries: a second request launches if the first has not answered within this (0 = no hedging)")
+
+		retrySeed = flag.Int64("retry-seed", 0, "seed for retry jitter; any fixed value makes backoff schedules replayable")
+		retryFor  = flag.Duration("ingest-retry-for", 2*time.Minute, "total wall-time budget for retrying one batch into a backlogged engine (0 = retry forever)")
 
 		addr    = flag.String("addr", ":8080", "HTTP listen address")
 		oneshot = flag.Bool("oneshot", false, "ingest everything, print gatherings GeoJSON, exit")
 		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof handlers under /debug/pprof/ for live profiling")
 	)
 	flag.Parse()
-	if *in == "" {
+	if *in == "" && *clusterMap == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *clusterMap != "" && *oneshot {
+		fatal(fmt.Errorf("-oneshot and -cluster are incompatible"))
+	}
+	syncMode, err := wal.ParseSyncMode(*walSync)
+	if err != nil {
+		fatal(err)
+	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
-	}
-	trajs, err := gatherings.ReadTrajectoriesCSV(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	if len(trajs) == 0 {
-		fatal(fmt.Errorf("no trajectories in %s", *in))
-	}
-	start := math.Inf(1)
-	for i := range trajs {
-		if s, _, ok := trajs[i].Lifespan(); ok && s < start {
-			start = s
+	// In cluster mode only the ingest front has -in; the other nodes ingest
+	// what the front forwards to them.
+	var db *gatherings.DB
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
 		}
-	}
-	db := &gatherings.DB{
-		Trajs:  trajs,
-		Domain: gatherings.TimeDomain{Start: start, Step: *step, N: *ticks},
-	}
-	if err := db.Validate(); err != nil {
-		fatal(err)
+		trajs, err := gatherings.ReadTrajectoriesCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if len(trajs) == 0 {
+			fatal(fmt.Errorf("no trajectories in %s", *in))
+		}
+		start := math.Inf(1)
+		for i := range trajs {
+			if s, _, ok := trajs[i].Lifespan(); ok && s < start {
+				start = s
+			}
+		}
+		db = &gatherings.DB{
+			Trajs:  trajs,
+			Domain: gatherings.TimeDomain{Start: start, Step: *step, N: *ticks},
+		}
+		if err := db.Validate(); err != nil {
+			fatal(err)
+		}
 	}
 	if *batch <= 0 {
 		fatal(fmt.Errorf("-batch must be > 0, got %d", *batch))
@@ -198,6 +249,40 @@ func main() {
 	// then /readyz answers 503 while /healthz stays a bare liveness probe.
 	var ready atomic.Bool
 	resil := &stats.ResilienceCounters{}
+	clCounters := &stats.ClusterCounters{}
+
+	// Cluster mode: build the node runtime before ingest and serving start,
+	// so the receive path can take forwards from the first request on.
+	var clNode *cluster.Node
+	if *clusterMap != "" {
+		m, err := cluster.LoadMap(*clusterMap)
+		if err != nil {
+			fatal(err)
+		}
+		clNode, err = cluster.NewNode(cluster.NodeConfig{
+			Map:              m,
+			Self:             cluster.NodeID(*nodeID),
+			Engine:           eng,
+			GatherParams:     gathering.Params{KC: *kc, KP: *kp, MP: *mp},
+			Counters:         clCounters,
+			Ready:            func() bool { return ready.Load() },
+			AttemptTimeout:   *attemptTO,
+			ForwardDeadline:  *fwdDL,
+			BreakerThreshold: *brkThresh,
+			BreakerCooldown:  *brkCool,
+			Hedge:            *hedge,
+			Seed:             *retrySeed,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		role := "member"
+		if db != nil {
+			role = "ingest front"
+		}
+		log.Printf("cluster: node %q (%s) of %d members, map version %d", *nodeID, role, len(m.Nodes), m.Version)
+	}
 
 	ingestDone := make(chan struct{})
 	go func() {
@@ -209,6 +294,7 @@ func main() {
 			CheckpointPath: *ckptPath,
 			WALPath:        *walPath,
 			Every:          *ckptEvery,
+			Sync:           syncMode,
 			Counters:       resil,
 		})
 		if err != nil {
@@ -228,10 +314,47 @@ func main() {
 			TicksPerBatch: *batch,
 			Counters:      resil,
 		})
+		bo := rpc.NewBackoff(0, 0, *retrySeed)
 		var emits []admit.Emit
+
+		if db == nil {
+			// Cluster member without a feed: ingest what the front
+			// forwards, until shutdown.
+			for {
+				select {
+				case <-ctx.Done():
+					// Best-effort: release anything parked in the reorder
+					// buffer before the final checkpoint (with the front's
+					// ordered per-peer forwarding it is empty in practice).
+					flushCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					emits = adm.Drain(emits[:0])
+					if err := applyEmits(flushCtx, eng, mgr, emits, bo, *retryFor); err != nil {
+						logIngestEnd(err)
+					}
+					cancel()
+					eng.Flush()
+					closeManager(mgr)
+					return
+				case fwd := <-clNode.Inbox():
+					emits = adm.Offer(fwd.Seq, fwd.Batch, emits[:0])
+					if err := applyEmits(ctx, eng, mgr, emits, bo, *retryFor); err != nil {
+						logIngestEnd(err)
+						closeManager(mgr)
+						return
+					}
+				}
+			}
+		}
+
+		// Feed loop: the standalone server, or the cluster's ingest front —
+		// which first forwards every remote sub-batch and then applies its
+		// own through the same pipeline.
 		for i, b := range db.Batches(*batch) {
+			if clNode != nil {
+				b = clNode.Route(uint64(i), b)
+			}
 			emits = adm.Offer(uint64(i), b, emits[:0])
-			if err := applyEmits(ctx, eng, mgr, emits); err != nil {
+			if err := applyEmits(ctx, eng, mgr, emits, bo, *retryFor); err != nil {
 				logIngestEnd(err)
 				closeManager(mgr)
 				return
@@ -246,7 +369,7 @@ func main() {
 			}
 		}
 		emits = adm.Drain(emits[:0])
-		if err := applyEmits(ctx, eng, mgr, emits); err != nil {
+		if err := applyEmits(ctx, eng, mgr, emits, bo, *retryFor); err != nil {
 			logIngestEnd(err)
 			closeManager(mgr)
 			return
@@ -271,23 +394,37 @@ func main() {
 	// must be served only when -pprof asks for them.
 	mux := http.NewServeMux()
 	mux.HandleFunc("/gatherings", func(w http.ResponseWriter, r *http.Request) {
-		serveQuery(w, r, eng, true)
+		serveQuery(w, r, eng, clNode, true)
 	})
 	mux.HandleFunc("/crowds", func(w http.ResponseWriter, r *http.Request) {
-		serveQuery(w, r, eng, false)
+		serveQuery(w, r, eng, clNode, false)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ticks applied:       %d\n", eng.Ticks())
 		eng.Counters().Snapshot().Fprint(w)
 		resil.Snapshot().Fprint(w)
+		if clNode != nil {
+			clCounters.Snapshot().Fprint(w)
+			fmt.Fprintf(w, "peer breakers:       %s\n", strings.Join(clNode.BreakerStates(), " "))
+		}
 		if q := eng.Quarantined(); len(q) > 0 {
 			fmt.Fprintf(w, "quarantined shards:  %v\n", q)
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if clNode != nil && clNode.Degraded() {
+			// Alive but with an open peer breaker: still 200 — the node
+			// serves partial answers — but visibly degraded.
+			fmt.Fprintln(w, "degraded")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
+	if clNode != nil {
+		mux.HandleFunc(rpc.ForwardPath, clNode.HandleForward)
+		mux.HandleFunc(rpc.LocalPath, clNode.HandleLocal)
+	}
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if !ready.Load() {
 			http.Error(w, "recovering: checkpoint restore / WAL replay in progress", http.StatusServiceUnavailable)
@@ -338,6 +475,12 @@ func main() {
 	// it safe to close the engine under it.
 	log.Printf("shutting down: stopping ingest")
 	<-ingestDone
+	if clNode != nil {
+		// Drain the forward queues: every enqueued sub-batch still gets
+		// its full retry budget before the process exits.
+		log.Printf("shutting down: draining forwards")
+		clNode.Close()
+	}
 	log.Printf("shutting down: flushing engine")
 	eng.Flush()
 	eng.Close()
@@ -347,7 +490,7 @@ func main() {
 // applyEmits logs and applies the admission stage's released batches, in
 // order: WAL append first (write-ahead), then the engine, then the
 // checkpoint bookkeeping.
-func applyEmits(ctx context.Context, eng *gatherings.Engine, mgr *recovery.Manager, emits []admit.Emit) error {
+func applyEmits(ctx context.Context, eng *gatherings.Engine, mgr *recovery.Manager, emits []admit.Emit, bo *rpc.Backoff, budget time.Duration) error {
 	for _, em := range emits {
 		if em.Filler {
 			log.Printf("ingest: batch %d lost beyond the watermark; advancing with an empty filler", em.Seq)
@@ -355,7 +498,7 @@ func applyEmits(ctx context.Context, eng *gatherings.Engine, mgr *recovery.Manag
 		if err := mgr.Log(em.Seq, em.Batch); err != nil {
 			return err
 		}
-		if err := appendWithRetry(ctx, eng, em.Batch); err != nil {
+		if err := appendWithRetry(ctx, eng, em.Batch, bo, budget); err != nil {
 			return err
 		}
 		if err := mgr.Applied(); err != nil {
@@ -366,25 +509,34 @@ func applyEmits(ctx context.Context, eng *gatherings.Engine, mgr *recovery.Manag
 }
 
 // appendWithRetry submits one batch, retrying transient failures (a full
-// queue under load) with capped exponential backoff. Only a closed engine
-// or a cancelled context aborts the ingest — a burst of backpressure used
-// to kill the whole ingest goroutine.
-func appendWithRetry(ctx context.Context, eng *gatherings.Engine, b *gatherings.DB) error {
-	const maxBackoff = 5 * time.Second
-	backoff := 10 * time.Millisecond
+// queue under load) with capped exponential backoff and jitter — the
+// jitter is seeded (rpc.Backoff), so a test can replay the exact retry
+// schedule. A positive budget caps the total retry wall-time for this
+// batch with a context deadline: an engine that stays backlogged past it
+// fails the ingest loudly instead of stalling the feed forever. Only a
+// closed engine, an exhausted budget or a cancelled context abort the
+// ingest.
+func appendWithRetry(ctx context.Context, eng *gatherings.Engine, b *gatherings.DB, bo *rpc.Backoff, budget time.Duration) error {
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	bo.Reset()
 	for {
 		err := eng.Append(b)
 		if err == nil || errors.Is(err, gatherings.ErrEngineClosed) {
 			return err
 		}
-		log.Printf("ingest: %v; retrying in %v", err, backoff)
+		d := bo.Next()
+		log.Printf("ingest: %v; retrying in %v", err, d)
 		select {
 		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return fmt.Errorf("retry wall-time budget %v exhausted: %w", budget, ctx.Err())
+			}
 			return ctx.Err()
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
+		case <-time.After(d):
 		}
 	}
 }
@@ -405,9 +557,14 @@ func closeManager(mgr *recovery.Manager) {
 	}
 }
 
-// serveQuery parses the filter parameters, runs one snapshot query and
-// writes the answer as GeoJSON.
-func serveQuery(w http.ResponseWriter, r *http.Request, eng *gatherings.Engine, gatheringsOnly bool) {
+// serveQuery parses the filter parameters, runs one snapshot query —
+// local, or scatter-gather across the cluster when clNode is set — and
+// writes the answer as GeoJSON. A cluster answer always succeeds: when
+// peers are unreachable it degrades to the reachable members' state,
+// marked with X-Gather-Partial and X-Gather-Unreachable headers, and
+// X-Gather-Ticks carries the minimum ingested tick frontier of the
+// answer (its staleness bound).
+func serveQuery(w http.ResponseWriter, r *http.Request, eng *gatherings.Engine, clNode *cluster.Node, gatheringsOnly bool) {
 	q := gatherings.EngineQuery{GatheringsOnly: gatheringsOnly}
 
 	if from, to, ok, err := parseWindow(r); err != nil {
@@ -433,7 +590,22 @@ func serveQuery(w http.ResponseWriter, r *http.Request, eng *gatherings.Engine, 
 		q.Limit = n
 	}
 
-	res := eng.Snapshot(q)
+	var res *gatherings.EngineResult
+	if clNode != nil {
+		var meta cluster.PartialMeta
+		res, meta = clNode.Query(r.Context(), q)
+		w.Header().Set("X-Gather-Ticks", strconv.Itoa(meta.Ticks))
+		if len(meta.Unreachable) > 0 {
+			ids := make([]string, len(meta.Unreachable))
+			for i, id := range meta.Unreachable {
+				ids[i] = string(id)
+			}
+			w.Header().Set("X-Gather-Partial", "true")
+			w.Header().Set("X-Gather-Unreachable", strings.Join(ids, ","))
+		}
+	} else {
+		res = eng.Snapshot(q)
+	}
 	w.Header().Set("Content-Type", "application/geo+json")
 	if err := geojson.Export(w, res.Crowds, res.Gatherings, nil); err != nil {
 		log.Printf("query: %v", err)

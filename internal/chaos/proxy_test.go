@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func dialEcho(t *testing.T, addr string, payload string) (string, error) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(500 * time.Millisecond))
+	if _, err := c.Write([]byte(payload)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func TestProxyModes(t *testing.T) {
+	srv := echoServer(t)
+	p, err := NewProxy(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Pass: bytes flow both ways.
+	if got, err := dialEcho(t, p.Addr(), "hello"); err != nil || got != "hello" {
+		t.Fatalf("pass mode: %q, %v", got, err)
+	}
+
+	// Latency: still correct, measurably delayed.
+	p.SetLatency(100 * time.Millisecond)
+	p.SetMode(ProxyLatency)
+	start := time.Now()
+	if got, err := dialEcho(t, p.Addr(), "slow"); err != nil || got != "slow" {
+		t.Fatalf("latency mode: %q, %v", got, err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("latency mode took %v, want ≥ 100ms", d)
+	}
+
+	// Blackhole: the client's deadline, not the proxy, ends the exchange.
+	p.SetMode(ProxyBlackhole)
+	if _, err := dialEcho(t, p.Addr(), "void"); err == nil {
+		t.Fatal("blackhole mode answered")
+	}
+
+	// Reset: the connection dies immediately.
+	p.SetMode(ProxyReset)
+	if _, err := dialEcho(t, p.Addr(), "rst"); err == nil {
+		t.Fatal("reset mode answered")
+	}
+
+	// Flap back to pass: recovery is immediate for new connections.
+	p.SetMode(ProxyPass)
+	if got, err := dialEcho(t, p.Addr(), "back"); err != nil || got != "back" {
+		t.Fatalf("after flap back: %q, %v", got, err)
+	}
+}

@@ -1,0 +1,68 @@
+package admit
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestLostSlotSetBounded: under sustained loss — a feed that keeps
+// skipping ahead so slots are abandoned forever — the abandoned-slot set
+// must stop growing at maxLost. Before the bound existed this map grew
+// one entry per lost batch for the life of the process.
+func TestLostSlotSetBounded(t *testing.T) {
+	const per = 4
+	counters := &stats.ResilienceCounters{}
+	a := New(Config{Watermark: 4, TicksPerBatch: per, Counters: counters})
+
+	var emits []Emit
+	seq := uint64(0)
+	const stride = 64 // deliver 1, abandon 63, each round
+	rounds := (maxLost/(stride-1) + 100) * 2
+	for r := 0; r < rounds; r++ {
+		emits = a.Offer(seq, batch(int(seq), per), emits[:0])
+		seq += stride
+		if len(a.lost) > maxLost {
+			t.Fatalf("round %d: lost set grew to %d, bound is %d", r, len(a.lost), maxLost)
+		}
+	}
+	if len(a.lost) != maxLost {
+		t.Fatalf("lost set has %d entries after sustained loss, want it pinned at %d", len(a.lost), maxLost)
+	}
+	dropped := counters.BatchesDropped.Load()
+	// The last stride or two may still sit parked in the reorder ring.
+	if want := uint64(rounds) * (stride - 1); dropped < want-2*stride {
+		t.Fatalf("BatchesDropped = %d, want about %d", dropped, want)
+	}
+
+	// A late arrival for a remembered slot is evicted from the set and
+	// classified as a late loss, not a duplicate.
+	before := len(a.lost)
+	var remembered uint64
+	for s := range a.lost {
+		remembered = s
+		break
+	}
+	lateBefore := counters.BatchesLate.Load()
+	dupBefore := counters.BatchesDuplicate.Load()
+	a.Offer(remembered, batch(int(remembered), per), emits[:0])
+	if len(a.lost) != before-1 {
+		t.Fatalf("late arrival did not evict its slot: %d entries, want %d", len(a.lost), before-1)
+	}
+	if counters.BatchesLate.Load() != lateBefore+1 {
+		t.Fatalf("BatchesLate = %d, want %d", counters.BatchesLate.Load(), lateBefore+1)
+	}
+
+	// A late arrival past the bound — its slot was abandoned after the
+	// set filled, so it was never remembered — still drops, under the
+	// coarser duplicate label.
+	unremembered := uint64(rounds-2) * stride
+	unremembered++ // +1: the stride's delivered slot is remembered-free too, skip it
+	if _, ok := a.lost[unremembered]; ok {
+		t.Fatalf("slot %d should not be in the (full) lost set", unremembered)
+	}
+	a.Offer(unremembered, batch(int(unremembered), per), emits[:0])
+	if got := counters.BatchesDuplicate.Load(); got != dupBefore+1 {
+		t.Fatalf("unremembered late arrival: BatchesDuplicate = %d, want %d", got, dupBefore+1)
+	}
+}

@@ -56,6 +56,11 @@ type Options struct {
 	// Every is the number of applied batches between automatic
 	// checkpoints; 0 checkpoints only on Close.
 	Every int
+	// Sync decides when the WAL is fsynced: on every append (the zero
+	// value, strict durability), at checkpoint boundaries, or never. The
+	// relaxed modes trade the machine-crash window for append latency —
+	// see wal.SyncMode and docs/INVARIANTS.md.
+	Sync wal.SyncMode
 	// Counters receives CheckpointsWritten/WALReplayed. Nil counts into a
 	// private sink.
 	Counters *stats.ResilienceCounters
@@ -115,6 +120,7 @@ func Open(eng *engine.Engine, opts Options) (*Manager, error) {
 		if err != nil {
 			return nil, err
 		}
+		w.SetSync(opts.Sync)
 		m.w = w
 	}
 
@@ -131,8 +137,10 @@ func Open(eng *engine.Engine, opts Options) (*Manager, error) {
 // admitter with it (admit.Config.Start).
 func (m *Manager) NextSeq() uint64 { return m.next }
 
-// Log appends one admitted batch to the WAL and syncs it — call it
-// before the engine append, in admission order.
+// Log appends one admitted batch to the WAL — call it before the engine
+// append, in admission order. Under the default SyncAppend mode the record
+// is fsynced before Log returns; the relaxed modes leave it in the page
+// cache (Writer.Sync is then a no-op).
 func (m *Manager) Log(seq uint64, db *trajectory.DB) error {
 	if m.w == nil {
 		return nil
@@ -197,10 +205,17 @@ func (m *Manager) Checkpoint() error {
 }
 
 // Close writes a final checkpoint (when configured) and closes the WAL.
+// Under SyncCheckpoint with no checkpoint configured, the log is force-
+// synced here so a clean shutdown is durable even though no append was.
 // A crash skips Close by definition; that is what the WAL is for.
 func (m *Manager) Close() error {
 	err := m.Checkpoint()
 	if m.w != nil {
+		if m.opts.CheckpointPath == "" {
+			if serr := m.w.ForceSync(); err == nil {
+				err = serr
+			}
+		}
 		if cerr := m.w.Close(); err == nil {
 			err = cerr
 		}

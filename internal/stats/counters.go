@@ -173,3 +173,88 @@ func (s ResilienceCounterSnapshot) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "checkpoints written: %d\n", s.CheckpointsWritten)
 	fmt.Fprintf(w, "wal batches replayed: %d\n", s.WALReplayed)
 }
+
+// ClusterCounters are the live counters of the multi-node layer: what the
+// forwarding data plane sent, retried, hedged and gave up on, what the
+// breaker did to failing peers, and how often reads had to degrade to
+// partial answers. All fields are atomic, as with the other counter sets.
+//
+// The forwarding contract these counters audit mirrors the admission one:
+// a sub-batch handed to a peer forwarder is eventually exactly one of
+// delivered (ForwardsSent) or abandoned (ForwardsDropped) — never silently
+// lost. Retries of the same (producer, seq) are idempotent at the receiver
+// (its admission stage classifies them as duplicates), so ForwardsRetried
+// can exceed ForwardsSent without double-applying anything.
+type ClusterCounters struct {
+	// Forward data plane, sender side.
+	ForwardsSent    atomic.Uint64 // sub-batches delivered to a peer (2xx)
+	ForwardsRetried atomic.Uint64 // delivery attempts that failed and were retried
+	ForwardsDropped atomic.Uint64 // sub-batches abandoned after the retry deadline
+
+	// Forward data plane, receiver side.
+	ForwardsReceived atomic.Uint64 // forwarded sub-batches accepted into admission
+	ForwardsRejected atomic.Uint64 // forwards refused (map-version mismatch, not ready, bad payload)
+
+	// Per-peer circuit breakers.
+	BreakerOpens  atomic.Uint64 // closed→open transitions (peer declared unhealthy)
+	BreakerProbes atomic.Uint64 // half-open probe requests let through
+	BreakerCloses atomic.Uint64 // open→closed transitions (probe succeeded)
+
+	// Scatter-gather read side.
+	QueriesPartial   atomic.Uint64 // scatter-gather answers missing at least one peer
+	PeersUnreachable atomic.Uint64 // per-query count of peers that contributed nothing
+	HedgesLaunched   atomic.Uint64 // hedge requests fired after the hedge delay
+	HedgeWins        atomic.Uint64 // hedge requests that answered before the primary
+}
+
+// ClusterCounterSnapshot is a point-in-time copy of ClusterCounters.
+type ClusterCounterSnapshot struct {
+	ForwardsSent     uint64
+	ForwardsRetried  uint64
+	ForwardsDropped  uint64
+	ForwardsReceived uint64
+	ForwardsRejected uint64
+	BreakerOpens     uint64
+	BreakerProbes    uint64
+	BreakerCloses    uint64
+	QueriesPartial   uint64
+	PeersUnreachable uint64
+	HedgesLaunched   uint64
+	HedgeWins        uint64
+}
+
+// Snapshot reads every counter once (per-field atomic, as with the other
+// counter sets).
+func (c *ClusterCounters) Snapshot() ClusterCounterSnapshot {
+	return ClusterCounterSnapshot{
+		ForwardsSent:     c.ForwardsSent.Load(),
+		ForwardsRetried:  c.ForwardsRetried.Load(),
+		ForwardsDropped:  c.ForwardsDropped.Load(),
+		ForwardsReceived: c.ForwardsReceived.Load(),
+		ForwardsRejected: c.ForwardsRejected.Load(),
+		BreakerOpens:     c.BreakerOpens.Load(),
+		BreakerProbes:    c.BreakerProbes.Load(),
+		BreakerCloses:    c.BreakerCloses.Load(),
+		QueriesPartial:   c.QueriesPartial.Load(),
+		PeersUnreachable: c.PeersUnreachable.Load(),
+		HedgesLaunched:   c.HedgesLaunched.Load(),
+		HedgeWins:        c.HedgeWins.Load(),
+	}
+}
+
+// Fprint renders the snapshot as an aligned block, matching the other
+// counter sets.
+func (s ClusterCounterSnapshot) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "forwards sent:       %d\n", s.ForwardsSent)
+	fmt.Fprintf(w, "forwards retried:    %d\n", s.ForwardsRetried)
+	fmt.Fprintf(w, "forwards dropped:    %d\n", s.ForwardsDropped)
+	fmt.Fprintf(w, "forwards received:   %d\n", s.ForwardsReceived)
+	fmt.Fprintf(w, "forwards rejected:   %d\n", s.ForwardsRejected)
+	fmt.Fprintf(w, "breaker opens:       %d\n", s.BreakerOpens)
+	fmt.Fprintf(w, "breaker probes:      %d\n", s.BreakerProbes)
+	fmt.Fprintf(w, "breaker closes:      %d\n", s.BreakerCloses)
+	fmt.Fprintf(w, "queries partial:     %d\n", s.QueriesPartial)
+	fmt.Fprintf(w, "peers unreachable:   %d\n", s.PeersUnreachable)
+	fmt.Fprintf(w, "hedges launched:     %d\n", s.HedgesLaunched)
+	fmt.Fprintf(w, "hedge wins:          %d\n", s.HedgeWins)
+}

@@ -47,18 +47,66 @@ const maxRecordSize = 1 << 30
 // ErrCorrupt is wrapped by Replay errors describing an unreadable log.
 var ErrCorrupt = errors.New("wal: corrupt")
 
+// SyncMode decides when the log is fsynced to stable storage — the
+// durability/throughput dial of the crash-recovery window.
+//
+// SyncAppend is the strict default: every appended batch reaches the disk
+// before it is applied, so a crash (process or machine) loses nothing the
+// admission stage released. SyncCheckpoint and SyncOff leave appends in
+// the page cache: a process crash still replays them (the kernel holds the
+// bytes), but a machine crash can lose every batch since the last fsync —
+// the "durable" window then silently depends on the page cache, which is
+// exactly the tradeoff to buy back fsync latency on ingest-bound nodes.
+// See docs/INVARIANTS.md ("WAL sync modes").
+type SyncMode int
+
+const (
+	// SyncAppend fsyncs after every Append (strict durability).
+	SyncAppend SyncMode = iota
+	// SyncCheckpoint fsyncs only at checkpoint boundaries and Close.
+	SyncCheckpoint
+	// SyncOff never fsyncs; durability rides the page cache entirely.
+	SyncOff
+)
+
+// ParseSyncMode maps the gatherserve -wal-sync flag values onto modes.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always", "append":
+		return SyncAppend, nil
+	case "checkpoint":
+		return SyncCheckpoint, nil
+	case "off", "never":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync mode %q (want always, checkpoint or off)", s)
+}
+
+// String renders the mode as its canonical flag value.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncCheckpoint:
+		return "checkpoint"
+	case SyncOff:
+		return "off"
+	}
+	return "always"
+}
+
 // Writer appends batches to a write-ahead log file. Methods are not safe
 // for concurrent use: the log belongs to the single admission goroutine
 // (gatherserve's ingest loop), which is also what keeps record order
 // equal to admission order.
 type Writer struct {
-	f   *os.File
-	buf []byte // reused encode buffer
+	f    *os.File
+	buf  []byte // reused encode buffer
+	mode SyncMode
 }
 
 // Create opens path for appending, writing the file header when the file
 // is new or empty, and truncating a torn tail left by a crash (it replays
-// the frames to find the valid prefix).
+// the frames to find the valid prefix). The writer syncs on every append
+// (SyncAppend); use SetSync to relax it.
 func Create(path string) (*Writer, error) {
 	valid, _, err := scan(path, nil)
 	if err != nil {
@@ -88,12 +136,35 @@ func Create(path string) (*Writer, error) {
 	return w, nil
 }
 
+// SetSync sets when the writer fsyncs (see SyncMode). Call it before the
+// first Append; it is not safe to change concurrently with writes.
+func (w *Writer) SetSync(m SyncMode) { w.mode = m }
+
+// Mode returns the writer's current sync mode.
+func (w *Writer) Mode() SyncMode { return w.mode }
+
 // Append logs one admitted batch under its admission sequence number. The
-// record is written in a single Write call; call Sync to make it durable.
+// record is written in a single Write call; Sync decides durability per
+// the writer's SyncMode.
 func (w *Writer) Append(seq uint64, db *trajectory.DB) error {
 	buf := w.buf[:0]
 	// Frame placeholder, patched below.
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = EncodePayload(buf, seq, db)
+	w.buf = buf
+	payload := buf[frameSize:]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	_, err := w.f.Write(buf)
+	return err
+}
+
+// EncodePayload appends the wire encoding of one (sequence, batch) record
+// to buf and returns it. The format is the WAL record payload — uint64 seq,
+// the batch domain, then each trajectory — and is shared with the cluster
+// forwarding data plane (internal/cluster/rpc), so a forwarded batch and a
+// logged batch are byte-identical and either side can decode the other.
+func EncodePayload(buf []byte, seq uint64, db *trajectory.DB) []byte {
 	buf = putUint64(buf, seq)
 	buf = putFloat(buf, db.Domain.Start)
 	buf = putFloat(buf, db.Domain.Step)
@@ -109,16 +180,30 @@ func (w *Writer) Append(seq uint64, db *trajectory.DB) error {
 			buf = putFloat(buf, s.P.Y)
 		}
 	}
-	w.buf = buf
-	payload := buf[frameSize:]
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-	_, err := w.f.Write(buf)
-	return err
+	return buf
 }
 
-// Sync flushes the log to stable storage.
-func (w *Writer) Sync() error { return w.f.Sync() }
+// DecodePayload unmarshals a payload produced by EncodePayload.
+func DecodePayload(p []byte) (uint64, *trajectory.DB, error) { return decode(p) }
+
+// Sync flushes the log to stable storage when the writer's mode is
+// SyncAppend; under the relaxed modes it is a no-op (use ForceSync at
+// checkpoint boundaries).
+func (w *Writer) Sync() error {
+	if w.mode != SyncAppend {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// ForceSync flushes the log regardless of the sync mode — the checkpoint
+// and shutdown barrier for SyncCheckpoint.
+func (w *Writer) ForceSync() error {
+	if w.mode == SyncOff {
+		return nil
+	}
+	return w.f.Sync()
+}
 
 // Reset truncates the log back to an empty header — the checkpoint has
 // made everything in it redundant.
